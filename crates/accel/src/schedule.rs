@@ -1,0 +1,217 @@
+//! Multi-head / multi-tile scheduling (Section 4.1).
+//!
+//! A LeOPArd accelerator instantiates several tiles and "attention heads are
+//! partitioned across the tiles, and the operations in the tiles are
+//! independent of each other on their corresponding heads". This module
+//! models that level: given the per-head simulation results of one attention
+//! layer, it assigns heads to tiles (round-robin, matching the static
+//! partitioning of the paper) and reports the layer's makespan, the total
+//! energy, and per-tile utilization; a model-level helper then sums layers.
+
+use crate::config::TileConfig;
+use crate::energy::{energy_from_events, EnergyBreakdown, EnergyModel};
+use crate::sim::{simulate_head, HeadSimResult, HeadWorkload};
+use serde::{Deserialize, Serialize};
+
+/// Cycle and energy totals of one attention layer executed on a multi-tile
+/// accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSchedule {
+    /// Number of tiles used.
+    pub tiles: usize,
+    /// Per-tile busy cycles (sum of the cycles of the heads mapped to it).
+    pub tile_cycles: Vec<u64>,
+    /// Layer makespan: the busiest tile's cycle count.
+    pub makespan_cycles: u64,
+    /// Total energy of all heads.
+    pub energy: EnergyBreakdown,
+    /// Mean pruning rate across the layer's heads.
+    pub pruning_rate: f64,
+}
+
+impl LayerSchedule {
+    /// Load-balance efficiency: average tile busy time over the makespan
+    /// (1.0 means perfectly balanced).
+    pub fn balance(&self) -> f64 {
+        if self.makespan_cycles == 0 || self.tile_cycles.is_empty() {
+            return 1.0;
+        }
+        let mean = self.tile_cycles.iter().sum::<u64>() as f64 / self.tile_cycles.len() as f64;
+        mean / self.makespan_cycles as f64
+    }
+}
+
+/// Simulates every head of one layer and schedules them round-robin over the
+/// configured number of tiles.
+///
+/// # Panics
+///
+/// Panics if `head_workloads` is empty or the configuration is invalid.
+pub fn schedule_layer(
+    head_workloads: &[HeadWorkload],
+    config: &TileConfig,
+    model: &EnergyModel,
+) -> LayerSchedule {
+    assert!(
+        !head_workloads.is_empty(),
+        "a layer has at least one attention head"
+    );
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
+    let tiles = config.tiles.max(1);
+    let mut tile_cycles = vec![0u64; tiles];
+    let mut energy = EnergyBreakdown::default();
+    let mut pruning = 0.0f64;
+
+    for (head_idx, workload) in head_workloads.iter().enumerate() {
+        let result: HeadSimResult = simulate_head(workload, config);
+        let tile = head_idx % tiles;
+        tile_cycles[tile] += result.total_cycles;
+        let head_energy = energy_from_events(&result.events, config, model);
+        energy = EnergyBreakdown {
+            qk_compute: energy.qk_compute + head_energy.qk_compute,
+            key_memory: energy.key_memory + head_energy.key_memory,
+            softmax: energy.softmax + head_energy.softmax,
+            v_compute: energy.v_compute + head_energy.v_compute,
+            value_memory: energy.value_memory + head_energy.value_memory,
+        };
+        pruning += result.pruning_rate();
+    }
+
+    LayerSchedule {
+        tiles,
+        makespan_cycles: tile_cycles.iter().copied().max().unwrap_or(0),
+        tile_cycles,
+        energy,
+        pruning_rate: pruning / head_workloads.len() as f64,
+    }
+}
+
+/// Cycle and energy totals of a whole model (a sequence of attention layers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSchedule {
+    /// Per-layer schedules, input side first.
+    pub layers: Vec<LayerSchedule>,
+}
+
+impl ModelSchedule {
+    /// Total cycles across layers (layers run back to back).
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.makespan_cycles).sum()
+    }
+
+    /// Total energy across layers.
+    pub fn total_energy(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy.total()).sum()
+    }
+
+    /// End-to-end latency in microseconds at the configured clock frequency.
+    pub fn latency_us(&self, config: &TileConfig) -> f64 {
+        self.total_cycles() as f64 / (config.frequency_mhz as f64)
+    }
+
+    /// Mean pruning rate across every layer.
+    pub fn mean_pruning_rate(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 0.0;
+        }
+        self.layers.iter().map(|l| l.pruning_rate).sum::<f64>() / self.layers.len() as f64
+    }
+}
+
+/// Schedules every layer of a model.
+///
+/// # Panics
+///
+/// Panics if `layer_workloads` is empty.
+pub fn schedule_model(
+    layer_workloads: &[Vec<HeadWorkload>],
+    config: &TileConfig,
+    model: &EnergyModel,
+) -> ModelSchedule {
+    assert!(!layer_workloads.is_empty(), "a model has at least one layer");
+    ModelSchedule {
+        layers: layer_workloads
+            .iter()
+            .map(|heads| schedule_layer(heads, config, model))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_tensor::rng;
+
+    fn workloads(heads: usize, threshold: f32, seed: u64) -> Vec<HeadWorkload> {
+        (0..heads)
+            .map(|h| {
+                let mut r = rng::seeded(seed + h as u64);
+                let q = rng::normal_matrix(&mut r, 24, 32, 0.0, 1.0);
+                let k = rng::normal_matrix(&mut r, 24, 32, 0.0, 1.0);
+                HeadWorkload::from_float(&q, &k, threshold, 12)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_tiles_halve_the_makespan_of_an_even_head_count() {
+        let heads = workloads(4, 0.2, 1);
+        let model = EnergyModel::calibrated();
+        let two_tiles = schedule_layer(&heads, &TileConfig::ae_leopard(), &model);
+        let mut one_tile_cfg = TileConfig::ae_leopard();
+        one_tile_cfg.tiles = 1;
+        let one_tile = schedule_layer(&heads, &one_tile_cfg, &model);
+        assert_eq!(two_tiles.tiles, 2);
+        assert!(two_tiles.makespan_cycles < one_tile.makespan_cycles);
+        // Same total work, same energy.
+        assert!((two_tiles.energy.total() - one_tile.energy.total()).abs() < 1e-6);
+        assert!(two_tiles.balance() > 0.8, "even head counts balance well");
+    }
+
+    #[test]
+    fn odd_head_counts_leave_one_tile_busier() {
+        let heads = workloads(3, 0.2, 2);
+        let model = EnergyModel::calibrated();
+        let schedule = schedule_layer(&heads, &TileConfig::ae_leopard(), &model);
+        assert_eq!(schedule.tile_cycles.len(), 2);
+        assert!(schedule.tile_cycles[0] > schedule.tile_cycles[1]);
+        assert!(schedule.balance() < 1.0);
+    }
+
+    #[test]
+    fn model_schedule_accumulates_layers() {
+        let model = EnergyModel::calibrated();
+        let layers = vec![workloads(2, 0.2, 3), workloads(2, 0.2, 4)];
+        let schedule = schedule_model(&layers, &TileConfig::ae_leopard(), &model);
+        assert_eq!(schedule.layers.len(), 2);
+        assert_eq!(
+            schedule.total_cycles(),
+            schedule.layers.iter().map(|l| l.makespan_cycles).sum::<u64>()
+        );
+        assert!(schedule.total_energy() > 0.0);
+        assert!(schedule.latency_us(&TileConfig::ae_leopard()) > 0.0);
+        assert!(schedule.mean_pruning_rate() > 0.0);
+    }
+
+    #[test]
+    fn pruned_models_finish_faster_than_unpruned_ones() {
+        let model = EnergyModel::calibrated();
+        let pruned_layers = vec![workloads(2, 0.8, 5)];
+        let mut unpruned = workloads(2, 0.8, 5);
+        for w in &mut unpruned {
+            w.threshold_int = i64::MIN / 4;
+        }
+        let pruned = schedule_model(&pruned_layers, &TileConfig::ae_leopard(), &model);
+        let dense = schedule_model(&[unpruned].to_vec(), &TileConfig::ae_leopard(), &model);
+        assert!(pruned.total_cycles() < dense.total_cycles());
+        assert!(pruned.total_energy() < dense.total_energy());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attention head")]
+    fn empty_layer_panics() {
+        let _ = schedule_layer(&[], &TileConfig::ae_leopard(), &EnergyModel::calibrated());
+    }
+}

@@ -1,0 +1,396 @@
+//! Cycle-level tile simulation.
+//!
+//! The simulator models one attention head flowing through a LeOPArd tile:
+//! every Q row is broadcast to the `N_QK` bit-serial DPUs, each DPU works
+//! through its share of the K columns (terminating early where the margin
+//! allows), surviving scores and their indices are pushed into the
+//! Score/IDX FIFOs, and the single back-end V-PU consumes them — one softmax
+//! evaluation plus one 64-wide `·V` MAC operation per surviving score. The
+//! front-end of the *next* Q row overlaps with the back-end of the current
+//! one; when the back-end is still busy the front-end stalls (Section 4.1).
+//!
+//! The simulator's outputs are cycle counts, event counts (for the energy
+//! model), per-row utilization, and the bit-profile histogram behind Figure 8.
+
+use crate::config::TileConfig;
+use crate::dpu::QkDpu;
+use leopard_quant::bitserial::BitSerialVector;
+use leopard_quant::fixed::QuantParams;
+use leopard_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A quantized attention-head workload ready for simulation.
+#[derive(Debug, Clone)]
+pub struct HeadWorkload {
+    /// Quantized Q codes, one row per query token (`s x d`).
+    pub q_codes: Vec<Vec<i32>>,
+    /// Quantized K codes, one row per key token (`s x d`).
+    pub k_codes: Vec<Vec<i32>>,
+    /// Pruning threshold in the integer product domain.
+    pub threshold_int: i64,
+    /// Head dimension `d`.
+    pub head_dim: usize,
+}
+
+impl HeadWorkload {
+    /// Builds a workload from float Q/K matrices and a float threshold
+    /// (expressed in the scaled score domain, i.e. after the `1/sqrt(d)`
+    /// factor), quantizing both operands to `qk_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes of `q` and `k` differ.
+    pub fn from_float(q: &Matrix, k: &Matrix, threshold: f32, qk_bits: u32) -> Self {
+        assert_eq!(q.shape(), k.shape(), "Q and K must share shape");
+        let d = q.cols();
+        let qp = QuantParams::calibrate(qk_bits, q);
+        let kp = QuantParams::calibrate(qk_bits, k);
+        let qq = qp.quantize_matrix(q);
+        let kq = kp.quantize_matrix(k);
+        // real_score = int_dot * product_scale / sqrt(d) ⇒ threshold_int.
+        let score_scale = qq.product_scale(&kq) / (d as f32).sqrt();
+        let threshold_int = (threshold / score_scale).round() as i64;
+        Self {
+            q_codes: (0..q.rows()).map(|r| qq.row(r).to_vec()).collect(),
+            k_codes: (0..k.rows()).map(|r| kq.row(r).to_vec()).collect(),
+            threshold_int,
+            head_dim: d,
+        }
+    }
+
+    /// Sequence length of the workload.
+    pub fn seq_len(&self) -> usize {
+        self.q_codes.len()
+    }
+}
+
+/// Raw event counts accumulated while simulating a head. These feed the
+/// energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// DPU execution cycles summed over all DPUs (each cycle is one
+    /// `d`-tap x `B`-bit MAC operation against the key buffer).
+    pub qk_dpu_cycles: u64,
+    /// Key-buffer read events (one per DPU cycle — the buffer streams `B`
+    /// bits of each of the `d` K elements per cycle).
+    pub key_buffer_reads: u64,
+    /// Softmax evaluations (one per surviving score).
+    pub softmax_ops: u64,
+    /// Back-end `·V` MAC-array operations (one 64-wide operation per
+    /// surviving score).
+    pub v_mac_ops: u64,
+    /// Value-buffer read events (one row of V per surviving score).
+    pub value_buffer_reads: u64,
+    /// Scores pushed into the Score/IDX FIFOs.
+    pub fifo_pushes: u64,
+}
+
+/// Result of simulating one attention head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadSimResult {
+    /// Total cycles to drain the head (front-end and back-end overlapped).
+    pub total_cycles: u64,
+    /// Cycles the front-end (QK-PU) was busy.
+    pub frontend_busy_cycles: u64,
+    /// Cycles of useful back-end (V-PU) work.
+    pub backend_busy_cycles: u64,
+    /// Cycles the front-end spent stalled waiting for the back-end.
+    pub frontend_stall_cycles: u64,
+    /// Back-end utilization: useful V-PU cycles over total cycles. Values
+    /// above 1.0 cannot occur here; the Figure 13 sweep instead reports
+    /// *demand* utilization which can exceed 1.0 when the V-PU is
+    /// oversubscribed.
+    pub vpu_utilization: f64,
+    /// Demand placed on the V-PU relative to the front-end's unstalled
+    /// completion time (can exceed 1.0; the quantity swept in Figure 13).
+    pub vpu_demand: f64,
+    /// Number of scores pruned (early-terminated or full-precision pruned).
+    pub pruned_scores: u64,
+    /// Number of scores that survived to the back-end.
+    pub surviving_scores: u64,
+    /// Histogram over K magnitude bits processed: entry `b` counts dot
+    /// products that stopped after exactly `b` bits (index 0 unused).
+    pub bits_histogram: Vec<u64>,
+    /// Histogram over K magnitude bits processed for *pruned* scores only,
+    /// used by the Figure 8 cumulative-pruning curve.
+    pub pruned_bits_histogram: Vec<u64>,
+    /// Event counts for the energy model.
+    pub events: EventCounts,
+}
+
+impl HeadSimResult {
+    /// Fraction of scores pruned.
+    pub fn pruning_rate(&self) -> f64 {
+        let total = self.pruned_scores + self.surviving_scores;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned_scores as f64 / total as f64
+        }
+    }
+
+    /// Mean number of K magnitude bits processed per score.
+    pub fn mean_bits_processed(&self) -> f64 {
+        let total: u64 = self.bits_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .bits_histogram
+            .iter()
+            .enumerate()
+            .map(|(bits, &count)| bits as u64 * count)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Cumulative fraction of scores already pruned once `bits` magnitude
+    /// bits have been processed (the Figure 8 curve). Scores that were never
+    /// pruned do not contribute.
+    pub fn cumulative_pruning_by_bits(&self, bits: usize) -> f64 {
+        let total = self.pruned_scores + self.surviving_scores;
+        if total == 0 {
+            return 0.0;
+        }
+        let pruned_by_now: u64 = self
+            .pruned_bits_histogram
+            .iter()
+            .take(bits.saturating_add(1))
+            .sum();
+        pruned_by_now as f64 / total as f64
+    }
+}
+
+/// Simulates one attention head on a tile.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the workload is degenerate
+/// (zero-length sequence).
+pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimResult {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
+    let s = workload.seq_len();
+    assert!(s > 0, "workload must contain at least one query");
+    let dpu = QkDpu::new(*config);
+    let plan = config.bit_serial_plan();
+
+    // Pre-decompose the K matrix once (the hardware stores K in the key
+    // buffer in bit-serial layout before the Q stream starts).
+    let k_vectors: Vec<BitSerialVector> = workload
+        .k_codes
+        .iter()
+        .map(|codes| BitSerialVector::new(codes, plan))
+        .collect();
+
+    let mut events = EventCounts::default();
+    let mut pruned_scores = 0u64;
+    let mut surviving_scores = 0u64;
+    let max_bits = plan.magnitude_bits as usize;
+    let mut bits_histogram = vec![0u64; max_bits + 1];
+    let mut pruned_bits_histogram = vec![0u64; max_bits + 1];
+
+    // Per-row timing: the front-end processes row i while the back-end works
+    // on the survivors of row i-1. The front-end cannot start row i+1 until
+    // the back-end has caught up with row i's survivors (a single-row
+    // hand-off simplification of the 512-deep Score/IDX FIFOs).
+    let mut frontend_busy = 0u64;
+    let mut backend_busy = 0u64;
+    let mut stall = 0u64;
+    let mut frontend_free_at = 0u64; // cycle when the front-end can start the next row
+    let mut backend_free_at = 0u64; // cycle when the back-end finishes its queue
+    // Softmax pipeline overhead per surviving score in the back-end
+    // (exponent lookup + accumulate + weighted MAC) — one score per cycle,
+    // matching the 1-D MAC array that consumes scores sequentially.
+    let backend_cycles_per_score = 1u64;
+
+    for q_row in &workload.q_codes {
+        // --- Front-end: distribute the s key columns over the N_QK DPUs.
+        let mut dpu_cycles = vec![0u64; config.n_qk_dpu];
+        let mut row_survivors = 0u64;
+        for (j, k_vec) in k_vectors.iter().enumerate() {
+            let outcome = dpu.compute(q_row, k_vec, workload.threshold_int);
+            let dpu_idx = j % config.n_qk_dpu;
+            dpu_cycles[dpu_idx] += u64::from(outcome.cycles);
+            events.qk_dpu_cycles += u64::from(outcome.cycles);
+            events.key_buffer_reads += u64::from(outcome.cycles);
+            bits_histogram[outcome.bits_processed as usize] += 1;
+            if outcome.pruned {
+                pruned_scores += 1;
+                pruned_bits_histogram[outcome.bits_processed as usize] += 1;
+            } else {
+                surviving_scores += 1;
+                row_survivors += 1;
+                events.fifo_pushes += 1;
+            }
+        }
+        let row_frontend_cycles = *dpu_cycles.iter().max().expect("at least one DPU");
+
+        // --- Timing: the front-end may have to wait for the back-end to
+        // drain the previous row before it can hand off this row's survivors.
+        let start = frontend_free_at;
+        let frontend_done = start + row_frontend_cycles;
+        // Hand-off happens when both the front-end is done and the back-end
+        // has finished the previous row.
+        let handoff = frontend_done.max(backend_free_at);
+        stall += handoff - frontend_done;
+        let row_backend_cycles = row_survivors * backend_cycles_per_score;
+        backend_free_at = handoff + row_backend_cycles;
+        frontend_free_at = handoff;
+
+        frontend_busy += row_frontend_cycles;
+        backend_busy += row_backend_cycles;
+
+        events.softmax_ops += row_survivors;
+        events.v_mac_ops += row_survivors;
+        events.value_buffer_reads += row_survivors;
+    }
+
+    let total_cycles = backend_free_at.max(frontend_free_at).max(1);
+    let frontend_unstalled = frontend_busy.max(1);
+
+    HeadSimResult {
+        total_cycles,
+        frontend_busy_cycles: frontend_busy,
+        backend_busy_cycles: backend_busy,
+        frontend_stall_cycles: stall,
+        vpu_utilization: backend_busy as f64 / total_cycles as f64,
+        vpu_demand: backend_busy as f64 / frontend_unstalled as f64,
+        pruned_scores,
+        surviving_scores,
+        bits_histogram,
+        pruned_bits_histogram,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_tensor::rng;
+
+    fn workload(s: usize, d: usize, threshold: f32, seed: u64) -> HeadWorkload {
+        let mut r = rng::seeded(seed);
+        let q = rng::normal_matrix(&mut r, s, d, 0.0, 1.0);
+        let k = rng::normal_matrix(&mut r, s, d, 0.0, 1.0);
+        HeadWorkload::from_float(&q, &k, threshold, 12)
+    }
+
+    #[test]
+    fn baseline_cycles_match_analytical_expectation() {
+        // Baseline: one DPU, one cycle per dot product, no pruning, so the
+        // front-end needs s cycles per row and the back-end s cycles per row.
+        let w = workload(16, 32, 0.0, 1);
+        let result = simulate_head(&w, &TileConfig::baseline());
+        assert_eq!(result.pruned_scores, 0);
+        assert_eq!(result.surviving_scores, (16 * 16) as u64);
+        assert_eq!(result.frontend_busy_cycles, (16 * 16) as u64);
+        assert_eq!(result.backend_busy_cycles, (16 * 16) as u64);
+        // Front and back ends are perfectly balanced: total ≈ 2s + (s-1)*s.
+        assert!(result.total_cycles >= result.frontend_busy_cycles);
+    }
+
+    #[test]
+    fn leopard_prunes_and_is_faster_than_baseline() {
+        let w = workload(32, 64, 0.3, 2);
+        let base = simulate_head(&w, &TileConfig::baseline());
+        let ae = simulate_head(&w, &TileConfig::ae_leopard());
+        assert!(ae.pruned_scores > 0, "threshold 0.3 should prune many scores");
+        assert!(ae.pruning_rate() > 0.3);
+        assert!(
+            ae.total_cycles < base.total_cycles,
+            "AE-LeOPArd ({}) should beat baseline ({})",
+            ae.total_cycles,
+            base.total_cycles
+        );
+    }
+
+    #[test]
+    fn hp_is_at_least_as_fast_as_ae() {
+        let w = workload(32, 64, 0.2, 3);
+        let ae = simulate_head(&w, &TileConfig::ae_leopard());
+        let hp = simulate_head(&w, &TileConfig::hp_leopard());
+        assert!(hp.total_cycles <= ae.total_cycles);
+    }
+
+    #[test]
+    fn early_termination_reduces_dpu_cycles_compared_to_pruning_only() {
+        let w = workload(32, 64, 0.3, 4);
+        let pruning_only = simulate_head(&w, &TileConfig::pruning_only());
+        let full = simulate_head(&w, &TileConfig::ae_leopard());
+        assert!(full.events.qk_dpu_cycles < pruning_only.events.qk_dpu_cycles);
+        // Both prune the same set of scores (the margin is exact).
+        assert_eq!(full.pruned_scores, pruning_only.pruned_scores);
+        assert!(full.mean_bits_processed() < pruning_only.mean_bits_processed());
+    }
+
+    #[test]
+    fn event_counts_are_consistent_with_survivors() {
+        let w = workload(24, 32, 0.2, 5);
+        let r = simulate_head(&w, &TileConfig::ae_leopard());
+        assert_eq!(r.events.softmax_ops, r.surviving_scores);
+        assert_eq!(r.events.v_mac_ops, r.surviving_scores);
+        assert_eq!(r.events.value_buffer_reads, r.surviving_scores);
+        assert_eq!(r.events.fifo_pushes, r.surviving_scores);
+        assert_eq!(r.pruned_scores + r.surviving_scores, (24 * 24) as u64);
+        assert_eq!(r.events.qk_dpu_cycles, r.events.key_buffer_reads);
+    }
+
+    #[test]
+    fn utilization_and_demand_are_sane() {
+        let w = workload(16, 32, 0.0, 6);
+        let r = simulate_head(&w, &TileConfig::ae_leopard());
+        assert!(r.vpu_utilization > 0.0 && r.vpu_utilization <= 1.0);
+        assert!(r.vpu_demand > 0.0);
+        // More DPUs raise demand on the shared V-PU.
+        let r12 = simulate_head(&w, &TileConfig::ae_leopard().with_n_qk(12));
+        let r3 = simulate_head(&w, &TileConfig::ae_leopard().with_n_qk(3));
+        assert!(r12.vpu_demand > r3.vpu_demand);
+    }
+
+    #[test]
+    fn bits_histogram_sums_to_total_scores() {
+        let w = workload(16, 32, 0.25, 7);
+        let r = simulate_head(&w, &TileConfig::ae_leopard());
+        let total: u64 = r.bits_histogram.iter().sum();
+        assert_eq!(total, (16 * 16) as u64);
+        assert!(r.mean_bits_processed() > 0.0);
+        assert!(r.mean_bits_processed() <= 11.0);
+    }
+
+    #[test]
+    fn higher_threshold_increases_pruning_and_reduces_cycles() {
+        let w_low = workload(24, 64, 0.0, 8);
+        let w_high = HeadWorkload {
+            threshold_int: w_low.threshold_int + 100_000,
+            ..w_low.clone()
+        };
+        let cfg = TileConfig::ae_leopard();
+        let low = simulate_head(&w_low, &cfg);
+        let high = simulate_head(&w_high, &cfg);
+        assert!(high.pruning_rate() >= low.pruning_rate());
+        assert!(high.total_cycles <= low.total_cycles);
+    }
+
+    #[test]
+    fn sparse_threshold_matches_quantile_expectation() {
+        // Threshold at 0 on zero-mean scores should prune roughly half.
+        let w = workload(32, 64, 0.0, 9);
+        let r = simulate_head(&w, &TileConfig::ae_leopard());
+        let rate = r.pruning_rate();
+        assert!((0.35..0.65).contains(&rate), "rate {rate} not near 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn empty_workload_panics() {
+        let w = HeadWorkload {
+            q_codes: vec![],
+            k_codes: vec![],
+            threshold_int: 0,
+            head_dim: 4,
+        };
+        let _ = simulate_head(&w, &TileConfig::ae_leopard());
+    }
+}

@@ -1,0 +1,49 @@
+//! Reverse-mode automatic differentiation for the LeOPArd reproduction.
+//!
+//! The central algorithmic idea of the paper is that the attention-score
+//! pruning threshold of each layer is a *trainable parameter*: a soft
+//! (tanh-based) threshold makes the pruning operation differentiable, and a
+//! surrogate L0 regularizer (a sharp sigmoid) pressures the optimizer towards
+//! sparsity. Both require ordinary back-propagation through the transformer,
+//! so this crate provides a small but complete reverse-mode autodiff engine
+//! over [`leopard_tensor::Matrix`]:
+//!
+//! * [`Tape`] / [`Var`] — a dynamically built computation graph with pullback
+//!   closures per node; custom operations (such as the soft threshold defined
+//!   in `leopard-core`) plug in through [`Tape::custom_unary`] and
+//!   [`Tape::custom_binary`].
+//! * [`optim`] — SGD (with momentum) and Adam optimizers, the latter being
+//!   what the paper uses for fine-tuning.
+//! * [`gradcheck`] — finite-difference gradient checking used extensively by
+//!   the test suites of the crates above this one.
+//!
+//! # Example: learn a scalar by gradient descent
+//!
+//! ```
+//! use leopard_autodiff::{Tape, optim::Sgd};
+//! use leopard_tensor::Matrix;
+//!
+//! // Minimize (w - 3)^2 with plain SGD.
+//! let mut w = Matrix::filled(1, 1, 0.0);
+//! let mut sgd = Sgd::new(0.1, 0.0);
+//! for _ in 0..100 {
+//!     let tape = Tape::new();
+//!     let wv = tape.leaf(w.clone());
+//!     let target = tape.constant(Matrix::filled(1, 1, 3.0));
+//!     let diff = tape.sub(wv, target);
+//!     let loss = tape.mse_to_zero(diff);
+//!     tape.backward(loss);
+//!     sgd.step_single(&mut w, &tape.grad(wv));
+//! }
+//! assert!((w[(0, 0)] - 3.0).abs() < 1e-2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gradcheck;
+mod ops;
+pub mod optim;
+mod tape;
+
+pub use tape::{Tape, Var};

@@ -1,0 +1,34 @@
+//! Benchmarks of the software attention paths: dense inference, hard-pruned
+//! inference, and the sparse (survivor-only) back-end evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leopard_core::hooks::HardThresholdHook;
+use leopard_core::thresholds::LayerThresholds;
+use leopard_tensor::rng;
+use leopard_transformer::attention::{attention_inference, attention_inference_sparse};
+use leopard_transformer::hooks::IdentityHook;
+
+fn attention_paths(c: &mut Criterion) {
+    let s = 128usize;
+    let d = 64usize;
+    let mut r = rng::seeded(3);
+    let q = rng::normal_matrix(&mut r, s, d, 0.0, 1.0);
+    let k = rng::normal_matrix(&mut r, s, d, 0.0, 1.0);
+    let v = rng::normal_matrix(&mut r, s, d, 0.0, 1.0);
+    let hook = HardThresholdHook::new(LayerThresholds::from_values(vec![0.5]));
+
+    let mut group = c.benchmark_group("attention_128x64");
+    group.bench_function("dense", |b| {
+        b.iter(|| attention_inference(&q, &k, &v, &IdentityHook, 0, 0))
+    });
+    group.bench_function("hard_pruned_dense_backend", |b| {
+        b.iter(|| attention_inference(&q, &k, &v, &hook, 0, 0))
+    });
+    group.bench_function("hard_pruned_sparse_backend", |b| {
+        b.iter(|| attention_inference_sparse(&q, &k, &v, &hook, 0, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, attention_paths);
+criterion_main!(benches);

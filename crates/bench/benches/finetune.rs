@@ -1,0 +1,47 @@
+//! Benchmark of the pruning-aware fine-tuning step (forward + backward +
+//! joint weight/threshold update) on a reduced-scale BERT-like model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leopard_core::finetune::{FinetuneConfig, Finetuner};
+use leopard_core::regularizer::L0Config;
+use leopard_transformer::config::{ModelConfig, ModelFamily};
+use leopard_transformer::data::{TaskGenerator, TaskSpec};
+use leopard_transformer::TransformerClassifier;
+
+fn finetune_epoch(c: &mut Criterion) {
+    let config = ModelConfig::train_scale(ModelFamily::BertBase);
+    let spec = TaskSpec {
+        classes: 3,
+        signal_tokens: 3,
+        noise_std: 0.6,
+        signal_strength: 2.5,
+        seed: 99,
+    };
+    let generator = TaskGenerator::new(config, spec);
+    let train = generator.generate(8, 1);
+    let eval = generator.generate(8, 2);
+    let finetuner = Finetuner::new(FinetuneConfig {
+        epochs: 1,
+        l0: L0Config {
+            lambda: 0.15,
+            ..L0Config::default()
+        },
+        ..FinetuneConfig::default()
+    });
+
+    c.bench_function("finetune_one_epoch_8_samples", |b| {
+        b.iter(|| {
+            let mut model = TransformerClassifier::new(config, spec.classes, 7);
+            finetuner.run(&mut model, &train, &eval)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // A single iteration runs a whole fine-tuning epoch, so keep the sample
+    // count low to bound total benchmark time.
+    config = Criterion::default().sample_size(10);
+    targets = finetune_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the hot kernels: dense vs bit-serial dot products and
+//! the early-termination path at different pruning thresholds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leopard_accel::config::TileConfig;
+use leopard_accel::dpu::QkDpu;
+use leopard_quant::bitserial::BitSerialVector;
+use leopard_quant::fixed::QuantParams;
+use leopard_tensor::rng;
+
+fn dot_product_kernels(c: &mut Criterion) {
+    let d = 64usize;
+    let mut r = rng::seeded(1);
+    let q = rng::normal_matrix(&mut r, 1, d, 0.0, 1.0);
+    let k = rng::normal_matrix(&mut r, 1, d, 0.0, 1.0);
+    let qp = QuantParams::calibrate(12, &q);
+    let kp = QuantParams::calibrate(12, &k);
+    let qq = qp.quantize_matrix(&q);
+    let kq = kp.quantize_matrix(&k);
+
+    let mut group = c.benchmark_group("dot_product");
+    group.bench_function("float_f32_64", |b| {
+        b.iter(|| {
+            q.row(0)
+                .iter()
+                .zip(k.row(0).iter())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("integer_codes_64", |b| {
+        b.iter(|| qq.dot_rows(0, &kq, 0))
+    });
+
+    let ae = TileConfig::ae_leopard();
+    let dpu = QkDpu::new(ae);
+    let plan = ae.bit_serial_plan();
+    let kvec = BitSerialVector::new(kq.row(0), plan);
+    // Threshold far below: never terminates (worst case).
+    group.bench_function("bit_serial_no_termination", |b| {
+        b.iter(|| dpu.compute(qq.row(0), &kvec, i64::MIN / 4))
+    });
+    // Threshold far above: terminates almost immediately (best case).
+    group.bench_function("bit_serial_immediate_termination", |b| {
+        b.iter(|| dpu.compute(qq.row(0), &kvec, i64::MAX / 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dot_product_kernels);
+criterion_main!(benches);

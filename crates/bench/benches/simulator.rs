@@ -1,0 +1,28 @@
+//! Benchmarks of the cycle-level tile simulator across configurations and
+//! pruning rates (the engine behind Figures 9-11, 13, and 14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leopard_accel::config::TileConfig;
+use leopard_accel::sim::{simulate_head, HeadWorkload};
+use leopard_workloads::pipeline::{synthesize_qk, threshold_for_rate};
+
+fn simulator(c: &mut Criterion) {
+    let (q, k) = synthesize_qk(64, 64, 0.35, 17);
+
+    let mut group = c.benchmark_group("tile_simulation_64x64");
+    for rate in [0.6f32, 0.9] {
+        let threshold = threshold_for_rate(&q, &k, rate);
+        let workload = HeadWorkload::from_float(&q, &k, threshold, 12);
+        for config in [TileConfig::baseline(), TileConfig::ae_leopard(), TileConfig::hp_leopard()] {
+            group.bench_with_input(
+                BenchmarkId::new(config.name, format!("prune{:.0}%", rate * 100.0)),
+                &workload,
+                |b, w| b.iter(|| simulate_head(w, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 10: total energy reduction of AE-LeOPArd and HP-LeOPArd relative
+//! to the baseline, per task and as geometric means.
+
+use leopard_bench::{gmean, harness_options, header, ratio, run_suite};
+use leopard_transformer::config::ModelFamily;
+use leopard_workloads::suite::PAPER_GMEANS;
+
+fn main() {
+    header("Figure 10 — energy reduction over the baseline design");
+    let rows = run_suite(&harness_options());
+    println!(
+        "{:<24} {:>10} {:>10} | {:>10} {:>10}",
+        "task", "AE", "HP", "paper AE", "paper HP"
+    );
+    for (task, result) in &rows {
+        println!(
+            "{:<24} {:>10} {:>10} | {:>10} {:>10}",
+            task.name,
+            ratio(result.ae_energy_reduction),
+            ratio(result.hp_energy_reduction),
+            ratio(task.paper_ae_energy as f64),
+            ratio(task.paper_hp_energy as f64)
+        );
+    }
+
+    println!();
+    for family in ModelFamily::ALL {
+        let values: Vec<f64> = rows
+            .iter()
+            .filter(|(t, _)| t.family == family)
+            .map(|(_, r)| r.ae_energy_reduction)
+            .collect();
+        if values.is_empty() {
+            continue;
+        }
+        println!("GMean {:<14} AE {}", family.name(), ratio(gmean(&values)));
+    }
+    let ae_all: Vec<f64> = rows.iter().map(|(_, r)| r.ae_energy_reduction).collect();
+    let hp_all: Vec<f64> = rows.iter().map(|(_, r)| r.hp_energy_reduction).collect();
+    println!(
+        "\noverall GMean: AE {} / HP {}   (paper: AE {}x / HP {}x)",
+        ratio(gmean(&ae_all)),
+        ratio(gmean(&hp_all)),
+        PAPER_GMEANS.2,
+        PAPER_GMEANS.3
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 11: normalized energy breakdown of the baseline, the pruning-only
+//! ablation, and full LeOPArd (pruning + bit-serial early termination),
+//! averaged per model family.
+
+use leopard_bench::{harness_options, header};
+use leopard_transformer::config::ModelFamily;
+use leopard_workloads::pipeline::run_task;
+use leopard_workloads::suite::full_suite;
+
+fn main() {
+    header("Figure 11 — normalized energy breakdown per transformer head");
+    let options = harness_options();
+    let suite = full_suite();
+    println!(
+        "{:<12} {:<20} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8}",
+        "family", "design", "QxK", "K mem", "softmax", "xV", "V mem", "total"
+    );
+    for family in ModelFamily::ALL {
+        let tasks: Vec<_> = suite.iter().filter(|t| t.family == family).collect();
+        let mut base = leopard_accel::energy::EnergyBreakdown::default();
+        let mut prune = leopard_accel::energy::EnergyBreakdown::default();
+        let mut full = leopard_accel::energy::EnergyBreakdown::default();
+        for task in &tasks {
+            let r = run_task(task, &options);
+            base = add(&base, &r.baseline_breakdown);
+            prune = add(&prune, &r.pruning_only_breakdown);
+            full = add(&full, &r.leopard_breakdown);
+        }
+        let norm = base.total();
+        for (label, b) in [
+            ("Baseline", &base),
+            ("LeOPArd-P (prune)", &prune),
+            ("LeOPArd (full)", &full),
+        ] {
+            let s = b.scaled(1.0 / norm);
+            println!(
+                "{:<12} {:<20} {:>8.3} {:>8.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3}",
+                family.name(),
+                label,
+                s.qk_compute,
+                s.key_memory,
+                s.softmax,
+                s.v_compute,
+                s.value_memory,
+                s.total()
+            );
+        }
+        println!(
+            "{:<12} pruning gain {:.1}x, bit-serial gain {:.1}x (paper: 1.7-2.5x and 1.3-2.3x)",
+            "",
+            base.total() / prune.total(),
+            prune.total() / full.total()
+        );
+    }
+}
+
+fn add(
+    a: &leopard_accel::energy::EnergyBreakdown,
+    b: &leopard_accel::energy::EnergyBreakdown,
+) -> leopard_accel::energy::EnergyBreakdown {
+    leopard_accel::energy::EnergyBreakdown {
+        qk_compute: a.qk_compute + b.qk_compute,
+        key_memory: a.key_memory + b.key_memory,
+        softmax: a.softmax + b.softmax,
+        v_compute: a.v_compute + b.v_compute,
+        value_memory: a.value_memory + b.value_memory,
+    }
+}

@@ -1,0 +1,89 @@
+//! Shared helpers for the figure/table harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//! it runs the relevant part of the pipeline, prints the same rows or series
+//! the paper reports, and — where the paper's number is known — prints the
+//! reference value next to the measured one so EXPERIMENTS.md can be filled
+//! in directly from the harness output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use leopard_workloads::pipeline::{run_task, PipelineOptions, TaskResult};
+use leopard_workloads::suite::{full_suite, TaskDescriptor};
+
+/// Prints a section header in a consistent style.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a ratio column such as a speedup ("1.93x").
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a percentage column ("91.7%").
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+/// Default pipeline options used by the harness binaries: sequence lengths
+/// are capped so the full 43-task sweep finishes in seconds; pass
+/// `--full-scale` to any binary to simulate the paper's full lengths.
+pub fn harness_options() -> PipelineOptions {
+    if std::env::args().any(|a| a == "--full-scale") {
+        PipelineOptions::full_scale()
+    } else {
+        PipelineOptions {
+            max_sim_seq_len: 64,
+            ..PipelineOptions::default()
+        }
+    }
+}
+
+/// Runs the hardware pipeline over the whole suite (or a stratified subset if
+/// `--quick` is passed) and returns `(descriptor, result)` pairs.
+pub fn run_suite(options: &PipelineOptions) -> Vec<(TaskDescriptor, TaskResult)> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    full_suite()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !quick || i % 4 == 0)
+        .map(|(_, task)| {
+            let result = run_task(&task, options);
+            (task, result)
+        })
+        .collect()
+}
+
+/// Geometric mean helper for f64 slices (0.0 for an empty slice).
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(1.926), "1.93x");
+        assert_eq!(percent(0.917), "91.7%");
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(gmean(&[]), 0.0);
+    }
+
+    #[test]
+    fn harness_options_cap_sequence_length_by_default() {
+        let opts = harness_options();
+        assert!(opts.max_sim_seq_len <= 96);
+    }
+}

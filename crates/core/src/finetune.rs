@@ -1,0 +1,409 @@
+//! Pruning-aware fine-tuning (Section 3.1 of the paper).
+//!
+//! The fine-tuner jointly optimizes the model weights and the per-layer
+//! pruning thresholds. Each training sample's loss is the task cross-entropy
+//! plus the λ-scaled surrogate L0 term accumulated by the
+//! [`SoftThresholdHook`]; one `backward` pass yields gradients for both the
+//! weights and the thresholds, which are then updated by two Adam instances
+//! with different learning rates (the paper uses 1e-2 for the thresholds and
+//! 5e-6 for the weights because threshold learning converges more slowly).
+//!
+//! The per-epoch records (`sparsity`, mean threshold, normalized loss,
+//! evaluation accuracy) are exactly the series plotted in Figure 2; the
+//! before/after accuracies feed Figure 6; the final hard-threshold pruning
+//! rates feed Figure 7.
+
+use crate::hooks::{HardThresholdHook, SoftThresholdHook};
+use crate::regularizer::L0Config;
+use crate::soft_threshold::SoftThresholdConfig;
+use crate::stats::PruningStats;
+use crate::thresholds::LayerThresholds;
+use leopard_autodiff::optim::Adam;
+use leopard_autodiff::Tape;
+use leopard_tensor::{ops, Matrix};
+use leopard_transformer::data::Dataset;
+use leopard_transformer::hooks::IdentityHook;
+use leopard_transformer::TransformerClassifier;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the pruning-aware fine-tuning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneConfig {
+    /// Number of fine-tuning epochs (the paper runs one to five).
+    pub epochs: usize,
+    /// Learning rate for the model weights (paper: 5e-6 at full scale; the
+    /// synthetic models train from a weaker starting point so the default is
+    /// larger).
+    pub weight_lr: f32,
+    /// Learning rate for the thresholds (paper: 1e-2).
+    pub threshold_lr: f32,
+    /// Soft-threshold parameters (paper: s = 10, c = 1000).
+    pub soft_threshold: SoftThresholdConfig,
+    /// Surrogate L0 parameters including the balancing factor λ.
+    pub l0: L0Config,
+    /// Whether thresholds may become negative. The paper's formulation does
+    /// not restrict them; keeping them unconstrained is the default.
+    pub clamp_thresholds_at_zero: bool,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            weight_lr: 2e-3,
+            threshold_lr: 1e-2,
+            soft_threshold: SoftThresholdConfig::default(),
+            l0: L0Config::default(),
+            clamp_thresholds_at_zero: false,
+        }
+    }
+}
+
+/// Per-epoch measurements recorded during fine-tuning (the Figure 2 series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index, starting at 1.
+    pub epoch: usize,
+    /// Mean training loss (task + regularizer) over the epoch.
+    pub train_loss: f32,
+    /// Training loss normalized to the first epoch's value.
+    pub normalized_loss: f32,
+    /// Attention sparsity (fraction of scores in the pruned region) measured
+    /// from the soft-threshold outputs during training.
+    pub sparsity: f32,
+    /// Mean learned threshold across layers at the end of the epoch.
+    pub mean_threshold: f32,
+    /// Evaluation accuracy with hard-threshold pruning applied.
+    pub eval_accuracy: f32,
+}
+
+/// Outcome of a fine-tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneReport {
+    /// Accuracy of the model before any pruning-aware fine-tuning, evaluated
+    /// without pruning (the "baseline accuracy" of Figure 6).
+    pub baseline_accuracy: f32,
+    /// Accuracy after fine-tuning with hard-threshold pruning applied (the
+    /// "accuracy with LeOPArd runtime pruning" of Figure 6).
+    pub pruned_accuracy: f32,
+    /// Final learned thresholds.
+    pub thresholds: LayerThresholds,
+    /// Final pruning statistics measured with the hard threshold on the
+    /// evaluation split (the Figure 7 quantity).
+    pub pruning_stats: PruningStats,
+    /// Per-epoch training dynamics (the Figure 2 series).
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl FinetuneReport {
+    /// Accuracy change caused by pruning-aware fine-tuning, in percentage
+    /// points (positive means degradation, matching the paper's convention).
+    pub fn accuracy_degradation(&self) -> f32 {
+        (self.baseline_accuracy - self.pruned_accuracy) * 100.0
+    }
+
+    /// Overall pruning rate on the evaluation split.
+    pub fn pruning_rate(&self) -> f32 {
+        self.pruning_stats.pruning_rate()
+    }
+}
+
+/// Joint weight + threshold fine-tuner.
+#[derive(Debug)]
+pub struct Finetuner {
+    config: FinetuneConfig,
+}
+
+impl Finetuner {
+    /// Creates a fine-tuner with the given configuration.
+    pub fn new(config: FinetuneConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FinetuneConfig {
+        &self.config
+    }
+
+    /// Runs pruning-aware fine-tuning of `model` on `train`, evaluating on
+    /// `eval` after every epoch, and returns the report plus the updated
+    /// model (modified in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dataset is empty.
+    pub fn run(
+        &self,
+        model: &mut TransformerClassifier,
+        train: &Dataset,
+        eval: &Dataset,
+    ) -> FinetuneReport {
+        assert!(!train.is_empty(), "training split must not be empty");
+        assert!(!eval.is_empty(), "evaluation split must not be empty");
+
+        let layers = model.config().layers;
+        let mut thresholds = LayerThresholds::zeros(layers);
+
+        // Baseline accuracy: the un-fine-tuned model without pruning.
+        let baseline_accuracy = evaluate_accuracy(model, eval, None);
+
+        let mut weight_opt = Adam::new(self.config.weight_lr);
+        let mut threshold_opt = Adam::new(self.config.threshold_lr);
+
+        let mut epochs = Vec::with_capacity(self.config.epochs);
+        let mut first_epoch_loss: Option<f32> = None;
+
+        for epoch in 1..=self.config.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_stats = PruningStats::new();
+
+            for (x, label) in train.iter() {
+                let tape = Tape::new();
+                let hook = SoftThresholdHook::new(
+                    &thresholds,
+                    self.config.soft_threshold,
+                    self.config.l0,
+                );
+                let (logits, param_nodes) = model.forward_train(&tape, x, &hook);
+                let task_loss = tape.cross_entropy(logits, &[label]);
+                let loss = match hook.regularizer_total(&tape) {
+                    Some(reg) => tape.add(task_loss, reg),
+                    None => task_loss,
+                };
+                tape.backward(loss);
+                epoch_loss += tape.value(loss)[(0, 0)];
+                epoch_stats.merge(&hook.stats());
+
+                // Weight update.
+                let grads: Vec<Matrix> = param_nodes.iter().map(|&p| tape.grad(p)).collect();
+                let mut params = model.params_mut();
+                let grad_refs: Vec<&Matrix> = grads.iter().collect();
+                weight_opt.step(&mut params, &grad_refs);
+
+                // Threshold update (one 1x1 parameter per layer touched).
+                let th_vars = hook.threshold_vars();
+                if !th_vars.is_empty() {
+                    let th_grads: Vec<Matrix> =
+                        th_vars.iter().map(|&(_, v)| tape.grad(v)).collect();
+                    let mut th_params: Vec<Matrix> = th_vars
+                        .iter()
+                        .map(|&(layer, _)| thresholds.as_matrix(layer))
+                        .collect();
+                    {
+                        let mut refs: Vec<&mut Matrix> = th_params.iter_mut().collect();
+                        let grad_refs: Vec<&Matrix> = th_grads.iter().collect();
+                        threshold_opt.step(&mut refs, &grad_refs);
+                    }
+                    for ((layer, _), updated) in th_vars.iter().zip(th_params.iter()) {
+                        let mut value = updated[(0, 0)];
+                        if self.config.clamp_thresholds_at_zero {
+                            value = value.max(0.0);
+                        }
+                        thresholds.set(*layer, value);
+                    }
+                }
+            }
+
+            let mean_loss = epoch_loss / train.len() as f32;
+            let first = *first_epoch_loss.get_or_insert(mean_loss);
+            let eval_accuracy = evaluate_accuracy(model, eval, Some(&thresholds));
+            epochs.push(EpochRecord {
+                epoch,
+                train_loss: mean_loss,
+                normalized_loss: if first.abs() > f32::EPSILON {
+                    mean_loss / first
+                } else {
+                    1.0
+                },
+                sparsity: epoch_stats.pruning_rate(),
+                mean_threshold: thresholds.mean(),
+                eval_accuracy,
+            });
+        }
+
+        // Final evaluation with hard-threshold pruning and statistics.
+        let hook = HardThresholdHook::new(thresholds.clone());
+        let pruned_accuracy = evaluate_accuracy_with_hook(model, eval, &hook);
+        let pruning_stats = hook.stats();
+
+        FinetuneReport {
+            baseline_accuracy,
+            pruned_accuracy,
+            thresholds,
+            pruning_stats,
+            epochs,
+        }
+    }
+}
+
+/// Evaluates classification accuracy. When `thresholds` is provided the
+/// evaluation applies hard-threshold pruning, otherwise the dense model runs.
+pub fn evaluate_accuracy(
+    model: &TransformerClassifier,
+    data: &Dataset,
+    thresholds: Option<&LayerThresholds>,
+) -> f32 {
+    match thresholds {
+        Some(th) => {
+            let hook = HardThresholdHook::new(th.clone());
+            evaluate_accuracy_with_hook(model, data, &hook)
+        }
+        None => {
+            let mut logits_all = Vec::with_capacity(data.len());
+            let mut labels = Vec::with_capacity(data.len());
+            for (x, label) in data.iter() {
+                let (logits, _) = model.forward_inference(x, &IdentityHook);
+                logits_all.push(logits.row(0).to_vec());
+                labels.push(label);
+            }
+            let logits = Matrix::from_rows(&logits_all);
+            ops::accuracy(&logits, &labels)
+        }
+    }
+}
+
+/// Evaluates classification accuracy with an explicit hard-threshold hook so
+/// the caller can also read the accumulated pruning statistics.
+pub fn evaluate_accuracy_with_hook(
+    model: &TransformerClassifier,
+    data: &Dataset,
+    hook: &HardThresholdHook,
+) -> f32 {
+    let mut logits_all = Vec::with_capacity(data.len());
+    let mut labels = Vec::with_capacity(data.len());
+    for (x, label) in data.iter() {
+        let (logits, _) = model.forward_inference(x, hook);
+        logits_all.push(logits.row(0).to_vec());
+        labels.push(label);
+    }
+    let logits = Matrix::from_rows(&logits_all);
+    ops::accuracy(&logits, &labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_transformer::config::{ModelConfig, ModelFamily};
+    use leopard_transformer::data::{TaskGenerator, TaskSpec};
+
+    fn tiny_config() -> ModelConfig {
+        ModelConfig {
+            family: ModelFamily::BertBase,
+            layers: 2,
+            heads: 1,
+            head_dim: 12,
+            model_dim: 12,
+            ffn_dim: 24,
+            seq_len: 10,
+        }
+    }
+
+    fn quick_finetune_config(epochs: usize) -> FinetuneConfig {
+        FinetuneConfig {
+            epochs,
+            weight_lr: 3e-3,
+            threshold_lr: 2e-2,
+            l0: L0Config {
+                lambda: 0.2,
+                ..L0Config::default()
+            },
+            ..FinetuneConfig::default()
+        }
+    }
+
+    fn make_task() -> (TransformerClassifier, Dataset, Dataset) {
+        let cfg = tiny_config();
+        let spec = TaskSpec {
+            classes: 3,
+            signal_tokens: 2,
+            noise_std: 0.5,
+            signal_strength: 2.5,
+            seed: 77,
+        };
+        let gen = TaskGenerator::new(cfg, spec);
+        let train = gen.generate(24, 1);
+        let eval = gen.generate(24, 2);
+        let model = TransformerClassifier::new(cfg, spec.classes, 123);
+        (model, train, eval)
+    }
+
+    #[test]
+    fn finetuning_learns_positive_thresholds_and_sparsity_grows() {
+        let (mut model, train, eval) = make_task();
+        let report = Finetuner::new(quick_finetune_config(3)).run(&mut model, &train, &eval);
+
+        assert_eq!(report.epochs.len(), 3);
+        assert_eq!(report.thresholds.layers(), 2);
+        // The L0 pressure should push sparsity up relative to the first epoch.
+        let first = report.epochs.first().unwrap().sparsity;
+        let last = report.epochs.last().unwrap().sparsity;
+        assert!(
+            last >= first,
+            "sparsity should not decrease: {first} -> {last}"
+        );
+        // The mean threshold should move away from the zero initialisation.
+        assert!(report.epochs.last().unwrap().mean_threshold.abs() > 1e-4);
+        // Pruning statistics were collected on the eval split.
+        assert!(report.pruning_stats.total_scores() > 0);
+        assert!(report.pruning_rate() > 0.0);
+    }
+
+    #[test]
+    fn finetuning_keeps_accuracy_within_reasonable_band() {
+        let (mut model, train, eval) = make_task();
+        let report = Finetuner::new(quick_finetune_config(4)).run(&mut model, &train, &eval);
+        // Fine-tuning starts from a random model, so pruned accuracy should
+        // end up at least as good as the untrained baseline (the paper starts
+        // from a converged checkpoint; our synthetic runs train and prune at
+        // once, which only makes this check stricter).
+        assert!(
+            report.pruned_accuracy + 0.05 >= report.baseline_accuracy,
+            "pruned accuracy {} fell well below baseline {}",
+            report.pruned_accuracy,
+            report.baseline_accuracy
+        );
+    }
+
+    #[test]
+    fn normalized_loss_starts_at_one_and_tends_down() {
+        let (mut model, train, eval) = make_task();
+        let report = Finetuner::new(quick_finetune_config(3)).run(&mut model, &train, &eval);
+        assert!((report.epochs[0].normalized_loss - 1.0).abs() < 1e-6);
+        assert!(
+            report.epochs.last().unwrap().normalized_loss
+                <= report.epochs[0].normalized_loss + 0.05
+        );
+    }
+
+    #[test]
+    fn clamping_keeps_thresholds_nonnegative() {
+        let (mut model, train, eval) = make_task();
+        let mut cfg = quick_finetune_config(2);
+        cfg.clamp_thresholds_at_zero = true;
+        let report = Finetuner::new(cfg).run(&mut model, &train, &eval);
+        assert!(report.thresholds.as_slice().iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn accuracy_degradation_helper_uses_percentage_points() {
+        let report = FinetuneReport {
+            baseline_accuracy: 0.90,
+            pruned_accuracy: 0.88,
+            thresholds: LayerThresholds::zeros(1),
+            pruning_stats: PruningStats::new(),
+            epochs: Vec::new(),
+        };
+        assert!((report.accuracy_degradation() - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "training split must not be empty")]
+    fn empty_dataset_panics() {
+        let (mut model, _, eval) = make_task();
+        let empty = Dataset {
+            samples: Vec::new(),
+            spec: TaskSpec::default(),
+        };
+        let _ = Finetuner::new(quick_finetune_config(1)).run(&mut model, &empty, &eval);
+    }
+}

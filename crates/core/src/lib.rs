@@ -1,0 +1,64 @@
+//! Gradient-based learned runtime pruning for attention (the LeOPArd
+//! algorithm, ISCA 2022).
+//!
+//! The paper's key algorithmic contribution is to treat the per-layer
+//! attention-score pruning threshold as a *trainable parameter* and learn it
+//! jointly with the model weights during a short fine-tuning pass. Two pieces
+//! make the threshold learnable by back-propagation:
+//!
+//! 1. **Soft threshold** ([`soft_threshold`]) — the hard "clip everything
+//!    below `Th` to −∞" operation is replaced by a `tanh`-based approximation
+//!    that is differentiable in both the scores and the threshold
+//!    (Equation 6 of the paper, with sharpness `s = 10` and clip magnitude
+//!    `c = 1000`).
+//! 2. **Surrogate L0 regularizer** ([`regularizer`]) — a sharp sigmoid counts
+//!    (approximately) how many scores survive the threshold (Equation 8); its
+//!    gradient pressures the optimizer towards higher sparsity while the task
+//!    loss pressures it towards accuracy, and the balance is set by the
+//!    factor `λ`.
+//!
+//! The remaining modules turn those two ideas into a usable pipeline:
+//!
+//! * [`thresholds`] — the per-layer threshold container shared by training
+//!   and inference.
+//! * [`hooks`] — implementations of the transformer crate's score hooks: the
+//!   differentiable soft-threshold hook used while fine-tuning and the hard
+//!   threshold hook used at inference/simulation time.
+//! * [`finetune`] — the pruning-aware fine-tuning loop (joint Adam updates
+//!   for weights and thresholds with separate learning rates), producing the
+//!   epoch-by-epoch sparsity/threshold/loss curves of Figure 2.
+//! * [`stats`] — pruning-rate accounting used by Figures 7 and 8 and by the
+//!   accelerator simulator.
+//!
+//! # Example: prune a score matrix with a learned threshold
+//!
+//! ```
+//! use leopard_core::{hooks::HardThresholdHook, thresholds::LayerThresholds};
+//! use leopard_transformer::hooks::InferenceScoreHook;
+//! use leopard_tensor::Matrix;
+//!
+//! let thresholds = LayerThresholds::from_values(vec![0.25]);
+//! let hook = HardThresholdHook::new(thresholds);
+//! let mut scores = Matrix::from_rows(&[vec![0.9, 0.1, -0.4, 0.6]]);
+//! hook.on_scores(&mut scores, 0, 0);
+//! // Scores below 0.25 are clipped to a large negative value; the rest
+//! // are untouched.
+//! assert_eq!(scores[(0, 0)], 0.9);
+//! assert!(scores[(0, 1)] < -1.0e3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod finetune;
+pub mod hooks;
+pub mod regularizer;
+pub mod soft_threshold;
+pub mod stats;
+pub mod thresholds;
+
+pub use finetune::{EpochRecord, FinetuneConfig, FinetuneReport, Finetuner};
+pub use hooks::{HardThresholdHook, SoftThresholdHook};
+pub use soft_threshold::SoftThresholdConfig;
+pub use stats::PruningStats;
+pub use thresholds::LayerThresholds;

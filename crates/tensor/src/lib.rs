@@ -1,0 +1,45 @@
+//! Dense matrix and vector math substrate for the LeOPArd reproduction.
+//!
+//! The LeOPArd paper ("Accelerating Attention through Gradient-Based Learned
+//! Runtime Pruning", ISCA 2022) learns attention-score pruning thresholds by
+//! back-propagation and then exploits them in a bit-serial accelerator. All of
+//! the layers above this crate — the autodiff engine, the transformer
+//! substrate, the learned-pruning algorithm, and the accelerator simulator —
+//! operate on plain dense `f32` matrices. This crate provides that foundation:
+//!
+//! * [`Matrix`] — a row-major dense matrix with the linear-algebra operations
+//!   attention needs (matmul, transpose, row/column views, element-wise maps),
+//! * [`ops`] — numerically stable softmax / log-sum-exp / cross-entropy and
+//!   other free functions used by both training and simulation,
+//! * [`rng`] — deterministic initializers (Xavier/He/normal/uniform) so every
+//!   experiment in the repository is reproducible from a seed,
+//! * [`stats`] — summary statistics (means, percentiles, histograms) used when
+//!   calibrating synthetic workloads against the paper's reported numbers.
+//!
+//! # Quick example
+//!
+//! ```
+//! use leopard_tensor::{Matrix, ops};
+//!
+//! // A tiny attention-score computation: scores = Q * K^T / sqrt(d)
+//! let q = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+//! let k = Matrix::from_rows(&[vec![1.0, 1.0], vec![-1.0, 1.0]]);
+//! let scores = q.matmul(&k.transpose()).scale(1.0 / (2.0f32).sqrt());
+//! let probs = ops::softmax_rows(&scores);
+//! assert!((probs.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+
+/// Convenience alias for results returned by fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,774 @@
+//! Row-major dense `f32` matrix.
+
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// `Matrix` is the workhorse type of the reproduction: queries, keys, values,
+/// attention scores, probabilities, weights, and gradients are all matrices.
+/// A vector is represented as a `1 x n` or `n x 1` matrix.
+///
+/// # Panics vs errors
+///
+/// Hot-path arithmetic (e.g. [`Matrix::matmul`], [`Add`]) panics on shape
+/// mismatch — such a mismatch is always a programming bug, and returning a
+/// `Result` from every arithmetic call makes numeric code unreadable.
+/// Constructors that ingest external data ([`Matrix::from_vec`]) return
+/// [`TensorError`] instead.
+///
+/// # Example
+///
+/// ```
+/// use leopard_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// assert_eq!(a.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of `rows x cols` filled with zeros.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use leopard_tensor::Matrix;
+    /// let z = Matrix::zeros(2, 3);
+    /// assert_eq!(z.shape(), (2, 3));
+    /// assert!(z.iter().all(|&v| v == 0.0));
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of `rows x cols` filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates a matrix of `rows x cols` filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != rows * cols`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), leopard_tensor::TensorError> {
+    /// use leopard_tensor::Matrix;
+    /// let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+    /// assert_eq!(m[(1, 0)], 3.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} but expected {cols}",
+                r.len()
+            );
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a `1 x n` row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates an `n x 1` column vector from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over all elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+
+    /// Mutable iterator over all elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f32> {
+        self.data.iter_mut()
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns a new matrix containing rows `range.start..range.end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn rows_slice(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "invalid row range");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Stacks matrices vertically (all must have the same number of columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the column counts differ.
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vstack requires at least one matrix");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in parts {
+            assert_eq!(m.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Stacks matrices horizontally (all must have the same number of rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the row counts differ.
+    pub fn hstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hstack requires at least one matrix");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut offset = 0;
+        for m in parts {
+            assert_eq!(m.rows, rows, "hstack row mismatch");
+            for r in 0..rows {
+                out.row_mut(r)[offset..offset + m.cols].copy_from_slice(m.row(r));
+            }
+            offset += m.cols;
+        }
+        out
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix multiplication `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both `rhs` and
+        // `out`, which matters once sequence lengths reach the paper's 512.
+        for i in 0..self.rows {
+            let out_row_start = i * rhs.cols;
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[out_row_start..out_row_start + rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fallible matrix multiplication returning an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] if the inner dimensions do
+    /// not agree.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::IncompatibleShapes {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        Ok(self.matmul(rhs))
+    }
+
+    /// Dot product of two equal-length vectors stored as matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices have different numbers of elements.
+    pub fn dot(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.len(), rhs.len(), "dot length mismatch");
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by `factor`.
+    pub fn scale(&self, factor: f32) -> Matrix {
+        self.map(|v| v * factor)
+    }
+
+    /// Adds `value` to every element.
+    pub fn shift(&self, value: f32) -> Matrix {
+        self.map(|v| v + value)
+    }
+
+    /// Adds a `1 x cols` row vector to every row (broadcasting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(r, c)] += bias[(0, c)];
+            }
+        }
+        out
+    }
+
+    /// Sums all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    ///
+    /// Returns `0.0` for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Sums each row, producing an `rows x 1` column vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out[(r, 0)] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Sums each column, producing a `1 x cols` row vector.
+    pub fn sum_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(0, c)] += self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Maximum element. Returns `f32::NEG_INFINITY` for an empty matrix.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Returns `f32::INFINITY` for an empty matrix.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Frobenius norm (`sqrt` of the sum of squared elements).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Returns `true` when every element differs from `other` by at most
+    /// `tol` (absolute).
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Reshapes without copying data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `rows * cols` differs from
+    /// the current number of elements.
+    pub fn reshape(self, rows: usize, cols: usize) -> Result<Matrix> {
+        if rows * cols != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                rows,
+                cols,
+                len: self.data.len(),
+            });
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: self.data,
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f32) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4}", self[(r, c)])?;
+                if c + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_filled() {
+        assert!(Matrix::zeros(3, 2).iter().all(|&v| v == 0.0));
+        assert!(Matrix::ones(2, 2).iter().all(|&v| v == 1.0));
+        assert!(Matrix::filled(2, 2, 7.5).iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        let err = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { len: 3, .. }));
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn try_matmul_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.try_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn row_and_col_views() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(0), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn rows_slice_extracts_block() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let mid = a.rows_slice(1, 3);
+        assert_eq!(mid, Matrix::from_rows(&[vec![2.0], vec![3.0]]));
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_eq!(
+            Matrix::vstack(&[&a, &b]),
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+        );
+        assert_eq!(
+            Matrix::hstack(&[&a, &b]),
+            Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]])
+        );
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 5.0]]);
+        assert_eq!(&a + &b, Matrix::from_rows(&[vec![4.0, 7.0]]));
+        assert_eq!(&b - &a, Matrix::from_rows(&[vec![2.0, 3.0]]));
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[vec![3.0, 10.0]]));
+        assert_eq!(&a * 2.0, Matrix::from_rows(&[vec![2.0, 4.0]]));
+        assert_eq!(-&a, Matrix::from_rows(&[vec![-1.0, -2.0]]));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Matrix::zeros(1, 2);
+        a += &Matrix::from_rows(&[vec![1.0, 1.0]]);
+        a += &Matrix::from_rows(&[vec![2.0, 3.0]]);
+        assert_eq!(a, Matrix::from_rows(&[vec![3.0, 4.0]]));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.sum_rows(), Matrix::col_vector(&[3.0, 7.0]));
+        assert_eq!(a.sum_cols(), Matrix::row_vector(&[4.0, 6.0]));
+        assert!((a.frobenius_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_add() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let bias = Matrix::row_vector(&[10.0, 20.0]);
+        assert_eq!(
+            a.add_row_broadcast(&bias),
+            Matrix::from_rows(&[vec![11.0, 22.0], vec![13.0, 24.0]])
+        );
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]);
+        let b = a.clone().reshape(2, 2).unwrap();
+        assert_eq!(b, Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        assert!(a.reshape(3, 2).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![1.0005, 2.0]]);
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-5));
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let a = Matrix::zeros(1, 1);
+        assert!(!format!("{a:?}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_panics_on_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0]]);
+        assert_eq!(a.map(f32::abs), Matrix::from_rows(&[vec![1.0, 2.0]]));
+        assert_eq!(a.scale(3.0), Matrix::from_rows(&[vec![3.0, -6.0]]));
+        assert_eq!(a.shift(1.0), Matrix::from_rows(&[vec![2.0, -1.0]]));
+    }
+
+    #[test]
+    fn vectors() {
+        let r = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.shape(), (1, 3));
+        let c = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.shape(), (3, 1));
+        assert_eq!(r.dot(&c), 14.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Score-transformation hooks.
+//!
+//! The learned-pruning algorithm in `leopard-core` needs to intercept the
+//! attention score matrix right after `Q * K^T / sqrt(d)` — during training to
+//! apply the differentiable soft threshold, and during inference to apply the
+//! hard threshold (clipping sub-threshold scores to a large negative value so
+//! softmax drives them to zero). These traits are that interception point;
+//! the transformer layers call them and remain agnostic of pruning.
+
+use leopard_autodiff::{Tape, Var};
+use leopard_tensor::Matrix;
+
+/// Hook invoked on the scaled score matrix during a differentiable
+/// (tape-based) forward pass.
+pub trait TrainScoreHook {
+    /// Transforms the `s x s` score node for attention `layer` / `head` and
+    /// returns the node the rest of the layer should use.
+    fn on_scores(&self, tape: &Tape, scores: Var, layer: usize, head: usize) -> Var;
+}
+
+/// Hook invoked on the scaled score matrix during a plain inference forward
+/// pass. Implementations mutate the matrix in place (e.g. clip pruned scores
+/// to a large negative constant).
+pub trait InferenceScoreHook {
+    /// Transforms the `s x s` score matrix for attention `layer` / `head`.
+    fn on_scores(&self, scores: &mut Matrix, layer: usize, head: usize);
+}
+
+/// A hook that leaves scores untouched: the unpruned baseline model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityHook;
+
+impl TrainScoreHook for IdentityHook {
+    fn on_scores(&self, _tape: &Tape, scores: Var, _layer: usize, _head: usize) -> Var {
+        scores
+    }
+}
+
+impl InferenceScoreHook for IdentityHook {
+    fn on_scores(&self, _scores: &mut Matrix, _layer: usize, _head: usize) {}
+}
+
+/// Blanket implementations so `&H` can be passed wherever a hook is expected.
+impl<H: TrainScoreHook + ?Sized> TrainScoreHook for &H {
+    fn on_scores(&self, tape: &Tape, scores: Var, layer: usize, head: usize) -> Var {
+        (**self).on_scores(tape, scores, layer, head)
+    }
+}
+
+impl<H: InferenceScoreHook + ?Sized> InferenceScoreHook for &H {
+    fn on_scores(&self, scores: &mut Matrix, layer: usize, head: usize) {
+        (**self).on_scores(scores, layer, head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_hook_is_a_noop_for_training() {
+        let tape = Tape::new();
+        let scores = tape.leaf(Matrix::filled(2, 2, 0.3));
+        let out = TrainScoreHook::on_scores(&IdentityHook, &tape, scores, 0, 0);
+        assert_eq!(out, scores);
+    }
+
+    #[test]
+    fn identity_hook_is_a_noop_for_inference() {
+        let mut scores = Matrix::filled(2, 2, 0.3);
+        let original = scores.clone();
+        InferenceScoreHook::on_scores(&IdentityHook, &mut scores, 1, 2);
+        assert_eq!(scores, original);
+    }
+
+    #[test]
+    fn hooks_work_through_references() {
+        fn takes_train_hook(h: impl TrainScoreHook) {
+            let tape = Tape::new();
+            let v = tape.leaf(Matrix::zeros(1, 1));
+            let _ = h.on_scores(&tape, v, 0, 0);
+        }
+        fn takes_infer_hook(h: impl InferenceScoreHook) {
+            let mut m = Matrix::zeros(1, 1);
+            h.on_scores(&mut m, 0, 0);
+        }
+        takes_train_hook(&IdentityHook);
+        takes_infer_hook(&IdentityHook);
+    }
+}

@@ -1,0 +1,161 @@
+//! Causal (autoregressive) attention masking.
+//!
+//! GPT-2 — one of the paper's six model families — is a decoder-only model:
+//! token `i` may only attend to tokens `j <= i`. In the score matrix this is
+//! a static upper-triangular mask applied *before* softmax, exactly where the
+//! learned-threshold pruning hook also operates. The paper does not count
+//! these statically masked positions towards its pruning rates (they are
+//! "padded zeros" in its terminology), so the composition order matters:
+//! the causal mask is applied first and the pruning hook only sees (and only
+//! counts) the causally visible scores.
+
+use crate::attention::PRUNED_SCORE;
+use crate::hooks::InferenceScoreHook;
+use leopard_tensor::Matrix;
+
+/// Sets every score above the diagonal (key index greater than query index)
+/// to [`PRUNED_SCORE`], enforcing autoregressive attention.
+///
+/// # Panics
+///
+/// Panics if `scores` is not square.
+pub fn apply_causal_mask(scores: &mut Matrix) {
+    assert_eq!(
+        scores.rows(),
+        scores.cols(),
+        "causal masking requires a square score matrix"
+    );
+    for r in 0..scores.rows() {
+        for c in (r + 1)..scores.cols() {
+            scores[(r, c)] = PRUNED_SCORE;
+        }
+    }
+}
+
+/// Number of causally visible positions in an `s x s` score matrix
+/// (`s * (s + 1) / 2`).
+pub fn visible_positions(seq_len: usize) -> usize {
+    seq_len * (seq_len + 1) / 2
+}
+
+/// An inference hook that first applies the causal mask and then delegates to
+/// an inner hook (typically the learned hard-threshold pruner). The inner
+/// hook therefore never sees — and never counts — the statically masked
+/// upper-triangular positions, matching the paper's convention of excluding
+/// padded positions from pruning statistics.
+#[derive(Debug, Clone)]
+pub struct CausalHook<H> {
+    inner: H,
+}
+
+impl<H> CausalHook<H> {
+    /// Wraps an inner hook with causal masking.
+    pub fn new(inner: H) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped hook.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner hook.
+    pub fn into_inner(self) -> H {
+        self.inner
+    }
+}
+
+impl<H: InferenceScoreHook> InferenceScoreHook for CausalHook<H> {
+    fn on_scores(&self, scores: &mut Matrix, layer: usize, head: usize) {
+        // Collect the causally visible scores, let the inner hook transform
+        // them, then write them back and mask the invisible region.
+        let s = scores.rows();
+        assert_eq!(s, scores.cols(), "causal masking requires a square score matrix");
+        for r in 0..s {
+            let visible = r + 1;
+            let mut row = Matrix::from_vec(1, visible, scores.row(r)[..visible].to_vec())
+                .expect("shape consistent");
+            self.inner.on_scores(&mut row, layer, head);
+            scores.row_mut(r)[..visible].copy_from_slice(row.row(0));
+            for c in visible..s {
+                scores[(r, c)] = PRUNED_SCORE;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::attention_inference;
+    use crate::hooks::IdentityHook;
+    use leopard_tensor::{ops, rng};
+
+    #[test]
+    fn mask_zeroes_probabilities_above_the_diagonal() {
+        let mut r = rng::seeded(4);
+        let q = rng::normal_matrix(&mut r, 6, 8, 0.0, 1.0);
+        let k = rng::normal_matrix(&mut r, 6, 8, 0.0, 1.0);
+        let mut scores = q.matmul(&k.transpose());
+        apply_causal_mask(&mut scores);
+        let probs = ops::softmax_rows(&scores);
+        for row in 0..6 {
+            for col in (row + 1)..6 {
+                assert!(probs[(row, col)] < 1e-6, "leak at ({row}, {col})");
+            }
+            let sum: f32 = probs.row(row).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn visible_position_count() {
+        assert_eq!(visible_positions(1), 1);
+        assert_eq!(visible_positions(4), 10);
+        assert_eq!(visible_positions(50), 1275);
+    }
+
+    #[test]
+    fn causal_hook_composes_with_identity() {
+        let hook = CausalHook::new(IdentityHook);
+        let mut r = rng::seeded(5);
+        let q = rng::normal_matrix(&mut r, 8, 8, 0.0, 1.0);
+        let k = rng::normal_matrix(&mut r, 8, 8, 0.0, 1.0);
+        let v = rng::normal_matrix(&mut r, 8, 8, 0.0, 1.0);
+        let out = attention_inference(&q, &k, &v, &hook, 0, 0);
+        // Roughly half of an 8x8 matrix is masked (28 of 64).
+        assert_eq!(out.pruned_count, 64 - visible_positions(8));
+        // First row attends only to itself.
+        assert!((out.probabilities[(0, 0)] - 1.0).abs() < 1e-5);
+        assert_eq!(hook.inner(), &IdentityHook);
+    }
+
+    #[test]
+    fn causal_hook_lets_inner_pruner_see_only_visible_scores() {
+        use std::cell::RefCell;
+
+        /// Records how many scores the inner hook was shown.
+        #[derive(Default)]
+        struct Counter {
+            seen: RefCell<usize>,
+        }
+        impl InferenceScoreHook for &Counter {
+            fn on_scores(&self, scores: &mut Matrix, _layer: usize, _head: usize) {
+                *self.seen.borrow_mut() += scores.len();
+            }
+        }
+
+        let counter = Counter::default();
+        let hook = CausalHook::new(&counter);
+        let mut scores = Matrix::filled(6, 6, 0.5);
+        hook.on_scores(&mut scores, 0, 0);
+        assert_eq!(*counter.seen.borrow(), visible_positions(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_scores_panic() {
+        let mut scores = Matrix::zeros(2, 3);
+        apply_causal_mask(&mut scores);
+    }
+}

@@ -1,0 +1,100 @@
+//! Markdown/plain-text report rendering for suite results.
+//!
+//! The harness binaries print human-readable tables; this module provides the
+//! same data as Markdown so EXPERIMENTS.md-style reports can be regenerated
+//! mechanically (`markdown_speedup_table`, `markdown_summary`).
+
+use crate::pipeline::{summarize, TaskResult};
+use crate::suite::TaskDescriptor;
+
+/// Renders a Markdown table of per-task speedups and energy reductions, with
+/// the paper's reference numbers alongside.
+///
+/// # Panics
+///
+/// Panics if `tasks` and `results` have different lengths.
+pub fn markdown_speedup_table(tasks: &[TaskDescriptor], results: &[TaskResult]) -> String {
+    assert_eq!(tasks.len(), results.len(), "one result per task required");
+    let mut out = String::new();
+    out.push_str(
+        "| Task | Pruning (meas.) | AE speedup | HP speedup | AE energy | Paper AE | Paper HP |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for (task, result) in tasks.iter().zip(results.iter()) {
+        out.push_str(&format!(
+            "| {} | {:.1}% | {:.2}x | {:.2}x | {:.2}x | {:.2}x | {:.2}x |\n",
+            task.name,
+            result.measured_pruning_rate * 100.0,
+            result.ae_speedup,
+            result.hp_speedup,
+            result.ae_energy_reduction,
+            task.paper_ae_speedup,
+            task.paper_hp_speedup,
+        ));
+    }
+    out
+}
+
+/// Renders a one-paragraph Markdown summary of the suite-level geometric
+/// means next to the paper's reported GMeans.
+///
+/// # Panics
+///
+/// Panics if `results` is empty.
+pub fn markdown_summary(results: &[TaskResult]) -> String {
+    let summary = summarize(results);
+    format!(
+        "Measured geometric means over {} tasks: AE-LeOPArd {:.2}x speedup / {:.2}x energy \
+         reduction, HP-LeOPArd {:.2}x speedup / {:.2}x energy reduction, mean pruning rate \
+         {:.1}% (paper: 1.9x / 3.9x and 2.4x / 4.0x).",
+        results.len(),
+        summary.ae_speedup_gmean,
+        summary.ae_energy_gmean,
+        summary.hp_speedup_gmean,
+        summary.hp_energy_gmean,
+        summary.mean_pruning_rate * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_task, PipelineOptions};
+    use crate::suite::full_suite;
+
+    fn sample_results() -> (Vec<TaskDescriptor>, Vec<TaskResult>) {
+        let options = PipelineOptions {
+            max_sim_seq_len: 32,
+            ..PipelineOptions::default()
+        };
+        let tasks: Vec<TaskDescriptor> = full_suite().into_iter().take(2).collect();
+        let results = tasks.iter().map(|t| run_task(t, &options)).collect();
+        (tasks, results)
+    }
+
+    #[test]
+    fn speedup_table_has_one_row_per_task_plus_header() {
+        let (tasks, results) = sample_results();
+        let table = markdown_speedup_table(&tasks, &results);
+        let rows: Vec<&str> = table.trim_end().lines().collect();
+        assert_eq!(rows.len(), 2 + tasks.len());
+        assert!(rows[0].starts_with("| Task |"));
+        assert!(rows[2].contains("MemN2N"));
+        assert!(rows[2].matches('|').count() >= 8);
+    }
+
+    #[test]
+    fn summary_mentions_task_count_and_paper_reference() {
+        let (_, results) = sample_results();
+        let text = markdown_summary(&results);
+        assert!(text.contains("2 tasks"));
+        assert!(text.contains("paper"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per task")]
+    fn mismatched_lengths_panic() {
+        let (tasks, results) = sample_results();
+        let _ = markdown_speedup_table(&tasks[..1], &results);
+    }
+}

@@ -1,0 +1,81 @@
+//! Estimate the end-to-end attention latency and energy of a whole model
+//! (all layers, all heads, partitioned across the accelerator's two tiles)
+//! for a GPT-2-like causal workload, comparing the baseline against
+//! AE-LeOPArd and HP-LeOPArd.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example model_latency
+//! ```
+
+use leopard::accel::config::TileConfig;
+use leopard::accel::energy::EnergyModel;
+use leopard::accel::schedule::schedule_model;
+use leopard::accel::sim::HeadWorkload;
+use leopard::transformer::config::{ModelConfig, ModelFamily};
+use leopard::workloads::pipeline::{synthesize_qk, threshold_for_rate};
+
+fn main() {
+    // GPT-2-Large-like dimensions, scaled down in layers/heads/sequence so
+    // the example finishes in seconds while keeping the head dimension and
+    // the per-task pruning rate of the paper's GPT-2 workload (73.9%).
+    let paper = ModelConfig::paper_scale(ModelFamily::Gpt2Large);
+    let layers = 6usize;
+    let heads = 4usize;
+    let seq_len = 96usize.min(paper.seq_len);
+    let pruning_target = 0.739f32;
+
+    println!(
+        "model: {} layers x {} heads, sequence {}, head dim {}, target pruning {:.1}%",
+        layers,
+        heads,
+        seq_len,
+        paper.head_dim,
+        pruning_target * 100.0
+    );
+
+    // Build per-layer, per-head workloads with the learned-threshold stand-in.
+    let mut layer_workloads = Vec::with_capacity(layers);
+    for layer in 0..layers {
+        let mut head_workloads = Vec::with_capacity(heads);
+        for head in 0..heads {
+            let seed = 0xA11CE + (layer * heads + head) as u64;
+            let (q, k) = synthesize_qk(seq_len, paper.head_dim, 0.35, seed);
+            let threshold = threshold_for_rate(&q, &k, pruning_target);
+            head_workloads.push(HeadWorkload::from_float(&q, &k, threshold, 12));
+        }
+        layer_workloads.push(head_workloads);
+    }
+
+    let energy_model = EnergyModel::calibrated();
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>14} {:>12}",
+        "design", "total cycles", "latency (us)", "energy (a.u.)", "prune rate"
+    );
+    let mut baseline_cycles = 0u64;
+    let mut baseline_energy = 0.0f64;
+    for config in [TileConfig::baseline(), TileConfig::ae_leopard(), TileConfig::hp_leopard()] {
+        let schedule = schedule_model(&layer_workloads, &config, &energy_model);
+        if config.name == "Baseline" {
+            baseline_cycles = schedule.total_cycles();
+            baseline_energy = schedule.total_energy();
+        }
+        println!(
+            "{:<12} {:>14} {:>14.1} {:>14.0} {:>11.1}%",
+            config.name,
+            schedule.total_cycles(),
+            schedule.latency_us(&config),
+            schedule.total_energy(),
+            schedule.mean_pruning_rate() * 100.0
+        );
+        if config.name != "Baseline" {
+            println!(
+                "{:<12} {:>14.2}x speedup, {:>10.2}x energy reduction vs baseline",
+                "",
+                baseline_cycles as f64 / schedule.total_cycles() as f64,
+                baseline_energy / schedule.total_energy()
+            );
+        }
+    }
+}

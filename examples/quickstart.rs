@@ -1,0 +1,100 @@
+//! Quickstart: learn pruning thresholds on a tiny task, then simulate the
+//! accelerator on the resulting pruning behaviour.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use leopard::accel::baseline::compare_to_baseline;
+use leopard::accel::config::TileConfig;
+use leopard::accel::energy::EnergyModel;
+use leopard::accel::sim::HeadWorkload;
+use leopard::pruning::finetune::{FinetuneConfig, Finetuner};
+use leopard::pruning::regularizer::L0Config;
+use leopard::tensor::rng;
+use leopard::transformer::config::{ModelConfig, ModelFamily};
+use leopard::transformer::data::{TaskGenerator, TaskSpec};
+use leopard::transformer::TransformerClassifier;
+
+fn main() {
+    // 1. Build a small BERT-like classifier and a synthetic task whose labels
+    //    depend on only a few tokens (so attention is naturally prunable).
+    let config = ModelConfig::train_scale(ModelFamily::BertBase);
+    let spec = TaskSpec {
+        classes: 3,
+        signal_tokens: 3,
+        noise_std: 0.6,
+        signal_strength: 2.5,
+        seed: 2022,
+    };
+    let generator = TaskGenerator::new(config, spec);
+    let train = generator.generate(32, 1);
+    let eval = generator.generate(32, 2);
+    let mut model = TransformerClassifier::new(config, spec.classes, 7);
+
+    // 2. Pruning-aware fine-tuning: jointly learn weights and per-layer
+    //    thresholds (soft threshold + surrogate L0, Section 3 of the paper).
+    let finetune = Finetuner::new(FinetuneConfig {
+        epochs: 3,
+        l0: L0Config {
+            lambda: 0.15,
+            ..L0Config::default()
+        },
+        ..FinetuneConfig::default()
+    });
+    let report = finetune.run(&mut model, &train, &eval);
+
+    println!("== Pruning-aware fine-tuning ==");
+    println!(
+        "baseline accuracy (dense, untuned): {:.1}%",
+        report.baseline_accuracy * 100.0
+    );
+    println!(
+        "accuracy with learned runtime pruning: {:.1}%",
+        report.pruned_accuracy * 100.0
+    );
+    println!(
+        "learned thresholds per layer: {:?}",
+        report.thresholds.as_slice()
+    );
+    println!(
+        "attention pruning rate on the eval split: {:.1}%",
+        report.pruning_rate() * 100.0
+    );
+    for epoch in &report.epochs {
+        println!(
+            "  epoch {}: loss {:.3}, sparsity {:.1}%, mean threshold {:.3}",
+            epoch.epoch,
+            epoch.train_loss,
+            epoch.sparsity * 100.0,
+            epoch.mean_threshold
+        );
+    }
+
+    // 3. Hardware: quantize a representative attention head and compare the
+    //    bit-serial early-terminating tile against the unpruned baseline.
+    let mut r = rng::seeded(99);
+    let q = rng::normal_matrix(&mut r, 64, config.head_dim, 0.0, 1.0);
+    let k = rng::normal_matrix(&mut r, 64, config.head_dim, 0.0, 1.0);
+    let threshold = report.thresholds.get(0);
+    let workload = HeadWorkload::from_float(&q, &k, threshold, 12);
+    let model_energy = EnergyModel::calibrated();
+    let ae = compare_to_baseline(&workload, &TileConfig::ae_leopard(), &model_energy);
+    let hp = compare_to_baseline(&workload, &TileConfig::hp_leopard(), &model_energy);
+
+    println!("\n== Accelerator simulation (one head, threshold from layer 0) ==");
+    println!(
+        "AE-LeOPArd: {:.2}x speedup, {:.2}x energy reduction, {:.1}% scores pruned, {:.1} mean bits",
+        ae.speedup(),
+        ae.energy_reduction(),
+        ae.pruning_rate * 100.0,
+        ae.mean_bits
+    );
+    println!(
+        "HP-LeOPArd: {:.2}x speedup, {:.2}x energy reduction",
+        hp.speedup(),
+        hp.energy_reduction()
+    );
+}

@@ -1,0 +1,73 @@
+//! Sweep the 43-task benchmark suite through the accelerator pipeline and
+//! print per-family speedup / energy summaries (the domain scenario behind
+//! Figures 9 and 10).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example suite_sweep
+//! ```
+
+use leopard::transformer::config::ModelFamily;
+use leopard::workloads::pipeline::{run_task, summarize, PipelineOptions, TaskResult};
+use leopard::workloads::suite::full_suite;
+
+fn main() {
+    let options = PipelineOptions {
+        max_sim_seq_len: 64,
+        ..PipelineOptions::default()
+    };
+    let suite = full_suite();
+    println!("simulating {} tasks (sequence lengths capped at {})...", suite.len(), options.max_sim_seq_len);
+
+    let results: Vec<TaskResult> = suite.iter().map(|t| run_task(t, &options)).collect();
+
+    println!(
+        "\n{:<24} {:>8} {:>8} {:>9} {:>9} {:>10}",
+        "task", "prune%", "bits", "AE spdup", "HP spdup", "AE energy"
+    );
+    for r in &results {
+        println!(
+            "{:<24} {:>7.1}% {:>8.2} {:>8.2}x {:>8.2}x {:>9.2}x",
+            r.name,
+            r.measured_pruning_rate * 100.0,
+            r.mean_bits,
+            r.ae_speedup,
+            r.hp_speedup,
+            r.ae_energy_reduction
+        );
+    }
+
+    // Per-family geometric means, matching the GMean rows of the paper.
+    println!("\n== per-family geometric means ==");
+    for family in ModelFamily::ALL {
+        let family_results: Vec<TaskResult> = suite
+            .iter()
+            .zip(results.iter())
+            .filter(|(t, _)| t.family == family)
+            .map(|(_, r)| r.clone())
+            .collect();
+        if family_results.is_empty() {
+            continue;
+        }
+        let summary = summarize(&family_results);
+        println!(
+            "{:<12} AE {:.2}x / HP {:.2}x speedup, AE {:.2}x / HP {:.2}x energy, {:.1}% pruned",
+            family.name(),
+            summary.ae_speedup_gmean,
+            summary.hp_speedup_gmean,
+            summary.ae_energy_gmean,
+            summary.hp_energy_gmean,
+            summary.mean_pruning_rate * 100.0
+        );
+    }
+
+    let overall = summarize(&results);
+    println!(
+        "\noverall GMean: AE {:.2}x / HP {:.2}x speedup, AE {:.2}x / HP {:.2}x energy (paper: 1.9 / 2.4 / 3.9 / 4.0)",
+        overall.ae_speedup_gmean,
+        overall.hp_speedup_gmean,
+        overall.ae_energy_gmean,
+        overall.hp_energy_gmean
+    );
+}

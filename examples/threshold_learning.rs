@@ -1,0 +1,55 @@
+//! Watch the per-layer thresholds, sparsity, and loss co-evolve during
+//! pruning-aware fine-tuning — the learning dynamics behind Figure 2 of the
+//! paper — for a BERT-like and a ViT-like synthetic task.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example threshold_learning
+//! ```
+
+use leopard::workloads::suite::full_suite;
+use leopard::workloads::training::{train_task, TrainingOptions};
+
+fn main() {
+    let suite = full_suite();
+    // A BERT-Base GLUE task (QNLI, the one Figure 2 plots) and ViT-B.
+    let selected: Vec<_> = suite
+        .iter()
+        .filter(|t| t.name == "BERT-B G-QNLI" || t.name == "ViT-B CIFAR-10")
+        .collect();
+
+    let options = TrainingOptions {
+        train_samples: 32,
+        eval_samples: 32,
+        epochs: 5,
+        ..TrainingOptions::default()
+    };
+
+    for task in selected {
+        println!("== {} ==", task.name);
+        let outcome = train_task(task, &options);
+        println!(
+            "{:<7} {:>10} {:>12} {:>10} {:>14} {:>10}",
+            "epoch", "loss", "norm. loss", "sparsity", "mean threshold", "accuracy"
+        );
+        for e in &outcome.report.epochs {
+            println!(
+                "{:<7} {:>10.4} {:>12.3} {:>9.1}% {:>14.4} {:>9.1}%",
+                e.epoch,
+                e.train_loss,
+                e.normalized_loss,
+                e.sparsity * 100.0,
+                e.mean_threshold,
+                e.eval_accuracy * 100.0
+            );
+        }
+        println!(
+            "final: baseline acc {:.1}%, pruned acc {:.1}%, pruning rate {:.1}%, thresholds {:?}\n",
+            outcome.report.baseline_accuracy * 100.0,
+            outcome.report.pruned_accuracy * 100.0,
+            outcome.report.pruning_rate() * 100.0,
+            outcome.report.thresholds.as_slice()
+        );
+    }
+}

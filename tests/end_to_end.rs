@@ -1,0 +1,156 @@
+//! Integration tests spanning the whole stack: fine-tune thresholds on a
+//! synthetic task, carry them into the quantized accelerator simulation, and
+//! check that the algorithmic and hardware layers agree with each other.
+
+use leopard::accel::baseline::compare_to_baseline;
+use leopard::accel::config::TileConfig;
+use leopard::accel::energy::EnergyModel;
+use leopard::accel::sim::{simulate_head, HeadWorkload};
+use leopard::pruning::finetune::{FinetuneConfig, Finetuner};
+use leopard::pruning::hooks::HardThresholdHook;
+use leopard::pruning::regularizer::L0Config;
+use leopard::tensor::rng;
+use leopard::transformer::config::{ModelConfig, ModelFamily};
+use leopard::transformer::data::{TaskGenerator, TaskSpec};
+use leopard::transformer::hooks::IdentityHook;
+use leopard::transformer::TransformerClassifier;
+
+fn train_small_model() -> (TransformerClassifier, leopard::pruning::LayerThresholds) {
+    let config = ModelConfig {
+        family: ModelFamily::BertBase,
+        layers: 2,
+        heads: 1,
+        head_dim: 12,
+        model_dim: 12,
+        ffn_dim: 24,
+        seq_len: 10,
+    };
+    let spec = TaskSpec {
+        classes: 3,
+        signal_tokens: 2,
+        noise_std: 0.5,
+        signal_strength: 2.5,
+        seed: 4242,
+    };
+    let generator = TaskGenerator::new(config, spec);
+    let train = generator.generate(20, 1);
+    let eval = generator.generate(20, 2);
+    let mut model = TransformerClassifier::new(config, spec.classes, 11);
+    let report = Finetuner::new(FinetuneConfig {
+        epochs: 2,
+        l0: L0Config {
+            lambda: 0.2,
+            ..L0Config::default()
+        },
+        ..FinetuneConfig::default()
+    })
+    .run(&mut model, &train, &eval);
+    (model, report.thresholds)
+}
+
+#[test]
+fn learned_thresholds_prune_in_inference_and_in_the_simulator() {
+    let (model, thresholds) = train_small_model();
+
+    // Software inference path with hard-threshold pruning.
+    let config = *model.config();
+    let generator = TaskGenerator::new(
+        config,
+        TaskSpec {
+            classes: 3,
+            signal_tokens: 2,
+            noise_std: 0.5,
+            signal_strength: 2.5,
+            seed: 4242,
+        },
+    );
+    let eval = generator.generate(8, 3);
+    let hook = HardThresholdHook::new(thresholds.clone());
+    let mut software_pruned = 0u64;
+    let mut total = 0u64;
+    for (x, _) in eval.iter() {
+        let (_, traces) = model.forward_inference(x, &hook);
+        for layer in traces {
+            for head in layer {
+                software_pruned += head.pruned_count as u64;
+                total += head.raw_scores.len() as u64;
+            }
+        }
+    }
+    assert!(total > 0);
+    let software_rate = software_pruned as f64 / total as f64;
+    assert!(
+        software_rate > 0.0 && software_rate < 1.0,
+        "learned thresholds should prune some but not all scores"
+    );
+
+    // Hardware path: simulate the first layer's Q/K under the same threshold.
+    let sample = &eval.samples[0].input;
+    let layer0 = &model.layers[0].attention.heads[0];
+    let q = sample.matmul(&layer0.wq);
+    let k = sample.matmul(&layer0.wk);
+    let workload = HeadWorkload::from_float(&q, &k, thresholds.get(0), 12);
+    let sim = simulate_head(&workload, &TileConfig::ae_leopard());
+
+    // The simulator's pruning decision (threshold comparison on quantized
+    // scores) must roughly agree with the float-domain hook decision for the
+    // same layer.
+    let layer0_rate = hook
+        .stats()
+        .layer_pruning_rate(0)
+        .expect("layer 0 was evaluated");
+    assert!(
+        (sim.pruning_rate() - layer0_rate as f64).abs() < 0.15,
+        "simulator rate {} vs software layer-0 rate {}",
+        sim.pruning_rate(),
+        layer0_rate
+    );
+}
+
+#[test]
+fn pruned_model_output_stays_close_to_dense_output() {
+    let (model, thresholds) = train_small_model();
+    let config = *model.config();
+    let mut r = rng::seeded(77);
+    let x = rng::normal_matrix(&mut r, config.seq_len, config.model_dim, 0.0, 1.0);
+
+    let (dense_logits, _) = model.forward_inference(&x, &IdentityHook);
+    let hook = HardThresholdHook::new(thresholds);
+    let (pruned_logits, _) = model.forward_inference(&x, &hook);
+
+    // The learned thresholds were co-trained with the weights, so pruning
+    // should barely move the logits (the paper reports <0.2% accuracy delta).
+    let diff = (&dense_logits - &pruned_logits).frobenius_norm();
+    let scale = dense_logits.frobenius_norm().max(1e-6);
+    assert!(
+        diff / scale < 0.35,
+        "pruned logits moved too far: relative diff {}",
+        diff / scale
+    );
+}
+
+#[test]
+fn speedup_grows_with_pruning_rate_across_thresholds() {
+    // End-to-end sanity of the hardware model: as the threshold rises, the
+    // pruning rate rises and so do speedup and energy reduction.
+    let mut r = rng::seeded(5);
+    let q = rng::normal_matrix(&mut r, 48, 64, 0.0, 1.0);
+    let k = rng::normal_matrix(&mut r, 48, 64, 0.0, 1.0);
+    let model = EnergyModel::calibrated();
+    let mut last_speedup = 0.0;
+    let mut last_energy = 0.0;
+    for (i, threshold) in [-0.5f32, 0.0, 0.5, 1.0].iter().enumerate() {
+        let workload = HeadWorkload::from_float(&q, &k, *threshold, 12);
+        let cmp = compare_to_baseline(&workload, &TileConfig::ae_leopard(), &model);
+        if i > 0 {
+            assert!(
+                cmp.speedup() >= last_speedup * 0.98,
+                "speedup should not drop when the threshold rises"
+            );
+            assert!(cmp.energy_reduction() >= last_energy * 0.98);
+        }
+        last_speedup = cmp.speedup();
+        last_energy = cmp.energy_reduction();
+    }
+    assert!(last_speedup > 1.5, "high thresholds should give real speedups");
+}

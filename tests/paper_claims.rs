@@ -1,0 +1,116 @@
+//! Integration tests that check the *shape* of the paper's headline claims
+//! on the synthetic suite: who wins, by roughly what factor, and where the
+//! crossovers fall. Absolute numbers differ from the paper (its substrate was
+//! a 65 nm P&R'd chip; ours is a calibrated simulator), but the orderings and
+//! rough magnitudes must hold.
+
+use leopard::accel::area::AreaModel;
+use leopard::accel::compare::{hp_leopard_65nm_published, table2_rows};
+use leopard::accel::config::TileConfig;
+use leopard::workloads::pipeline::{run_task, summarize, PipelineOptions};
+use leopard::workloads::suite::full_suite;
+
+fn quick_options() -> PipelineOptions {
+    PipelineOptions {
+        max_sim_seq_len: 48,
+        ..PipelineOptions::default()
+    }
+}
+
+#[test]
+fn representative_tasks_show_the_papers_ordering() {
+    let suite = full_suite();
+    let options = quick_options();
+    // One task per family, covering the extremes of the pruning-rate range.
+    let picks = ["MemN2N Task-1", "BERT-B G-QNLI", "BERT-L SQuAD", "ViT-B CIFAR-10"];
+    let results: Vec<_> = suite
+        .iter()
+        .filter(|t| picks.contains(&t.name.as_str()))
+        .map(|t| run_task(t, &options))
+        .collect();
+    assert_eq!(results.len(), picks.len());
+
+    let by_name = |name: &str| results.iter().find(|r| r.name == name).unwrap();
+    let memn2n = by_name("MemN2N Task-1");
+    let vit = by_name("ViT-B CIFAR-10");
+
+    // MemN2N has the highest pruning rate and the largest gains; ViT the
+    // smallest — the ordering Figures 7, 9, and 10 report.
+    assert!(memn2n.measured_pruning_rate > 0.9);
+    assert!(vit.measured_pruning_rate < 0.7);
+    assert!(memn2n.ae_speedup > vit.ae_speedup);
+    assert!(memn2n.ae_energy_reduction > vit.ae_energy_reduction);
+    // HP always at least matches AE (more DPUs, same back-end).
+    for r in &results {
+        assert!(r.hp_speedup >= r.ae_speedup * 0.95, "{}", r.name);
+    }
+    // Energy reductions exceed speedups on high-pruning tasks (Section 5.3:
+    // memory savings contribute to energy but not to cycles).
+    assert!(memn2n.ae_energy_reduction > memn2n.ae_speedup);
+}
+
+#[test]
+fn suite_geometric_means_land_in_the_papers_band() {
+    let suite = full_suite();
+    let options = quick_options();
+    // A stratified subsample keeps this test fast while spanning families.
+    let sample: Vec<_> = suite.iter().step_by(4).collect();
+    let results: Vec<_> = sample.iter().map(|t| run_task(t, &options)).collect();
+    let summary = summarize(&results);
+    // The paper's GMeans are 1.9x / 2.4x speedup and 3.9x / 4.0x energy; the
+    // synthetic reproduction should land within a factor-of-two band.
+    assert!(
+        summary.ae_speedup_gmean > 1.2 && summary.ae_speedup_gmean < 4.0,
+        "AE speedup gmean {}",
+        summary.ae_speedup_gmean
+    );
+    assert!(summary.hp_speedup_gmean >= summary.ae_speedup_gmean * 0.95);
+    assert!(
+        summary.ae_energy_gmean > 1.8,
+        "AE energy gmean {}",
+        summary.ae_energy_gmean
+    );
+}
+
+#[test]
+fn iso_area_and_table2_claims_hold() {
+    // AE-LeOPArd matches the baseline area; HP pays ~15%.
+    let area = AreaModel::calibrated();
+    let baseline = area.total(&TileConfig::baseline());
+    let ae = area.total(&TileConfig::ae_leopard());
+    let hp = area.total(&TileConfig::hp_leopard());
+    assert!((ae / baseline - 1.0).abs() < 0.01);
+    assert!(hp / baseline > 1.05 && hp / baseline < 1.25);
+
+    // Table 2: the scaled LeOPArd rows beat SpAtten on GOPs/J and GOPs/s/mm2,
+    // and the 9-bit variants beat A3-Base on both efficiency metrics.
+    let rows = table2_rows(&hp_leopard_65nm_published());
+    let find = |name: &str| rows.iter().find(|r| r.name.contains(name)).unwrap();
+    let spatten = find("SpAtten");
+    let dennard = find("+dennard");
+    let nine_bit = rows.iter().find(|r| r.name.contains("+9b")).unwrap();
+    let a3 = find("A3-Base");
+    assert!(dennard.gops_per_joule > 2.0 * spatten.gops_per_joule);
+    assert!(dennard.gops_per_mm2() > 1.2 * spatten.gops_per_mm2());
+    assert!(nine_bit.gops_per_joule > a3.gops_per_joule);
+    assert!(nine_bit.gops_per_mm2() > 4.0 * a3.gops_per_mm2());
+}
+
+#[test]
+fn pruning_and_bit_serial_both_contribute_to_energy_savings() {
+    // Figure 11's decomposition: pruning alone saves energy, bit-serial early
+    // termination saves more on top, and the two contributions are of the
+    // same order (the paper reports 2.1x from pruning and 1.8x from
+    // termination on average).
+    let suite = full_suite();
+    let options = quick_options();
+    let result = run_task(&suite[0], &options); // MemN2N Task-1
+    let base = result.baseline_breakdown.total();
+    let prune = result.pruning_only_breakdown.total();
+    let full = result.leopard_breakdown.total();
+    let pruning_gain = base / prune;
+    let serial_gain = prune / full;
+    assert!(pruning_gain > 1.5, "pruning-only gain {pruning_gain}");
+    assert!(serial_gain > 1.2, "bit-serial gain {serial_gain}");
+    assert!(pruning_gain * serial_gain > 3.0);
+}
