@@ -163,7 +163,10 @@ mod tests {
         let ae = model.total(&TileConfig::ae_leopard());
         let base = model.total(&TileConfig::baseline());
         let diff = (ae - base).abs() / base;
-        assert!(diff < 0.005, "AE vs baseline area difference {diff} too large");
+        assert!(
+            diff < 0.005,
+            "AE vs baseline area difference {diff} too large"
+        );
     }
 
     #[test]

@@ -58,14 +58,32 @@ pub fn compare_to_baseline(
     let baseline_cfg = TileConfig::baseline();
     let baseline = simulate_head(workload, &baseline_cfg);
     let evaluated = simulate_head(workload, config);
-    BaselineComparison {
-        config_name: config.name,
-        baseline_cycles: baseline.total_cycles,
-        config_cycles: evaluated.total_cycles,
-        baseline_energy: energy_from_events(&baseline.events, &baseline_cfg, model),
-        config_energy: energy_from_events(&evaluated.events, config, model),
-        pruning_rate: evaluated.pruning_rate(),
-        mean_bits: evaluated.mean_bits_processed(),
+    BaselineComparison::from_results(&baseline_cfg, &baseline, config, &evaluated, model)
+}
+
+impl BaselineComparison {
+    /// Builds the comparison from simulation results computed elsewhere.
+    ///
+    /// The parallel suite engine simulates each configuration exactly once
+    /// per head and shares the results between comparisons; this constructor
+    /// prices those shared results identically to [`compare_to_baseline`]
+    /// (which remains the convenient single-call path).
+    pub fn from_results(
+        baseline_cfg: &TileConfig,
+        baseline: &HeadSimResult,
+        config: &TileConfig,
+        evaluated: &HeadSimResult,
+        model: &EnergyModel,
+    ) -> Self {
+        Self {
+            config_name: config.name,
+            baseline_cycles: baseline.total_cycles,
+            config_cycles: evaluated.total_cycles,
+            baseline_energy: energy_from_events(&baseline.events, baseline_cfg, model),
+            config_energy: energy_from_events(&evaluated.events, config, model),
+            pruning_rate: evaluated.pruning_rate(),
+            mean_bits: evaluated.mean_bits_processed(),
+        }
     }
 }
 
@@ -120,7 +138,11 @@ mod tests {
         let model = EnergyModel::calibrated();
         let ae = compare_to_baseline(&w, &TileConfig::ae_leopard(), &model);
         assert!(ae.speedup() > 1.0, "speedup {}", ae.speedup());
-        assert!(ae.energy_reduction() > 1.5, "energy {}", ae.energy_reduction());
+        assert!(
+            ae.energy_reduction() > 1.5,
+            "energy {}",
+            ae.energy_reduction()
+        );
         assert!(ae.pruning_rate > 0.5);
 
         let hp = compare_to_baseline(&w, &TileConfig::hp_leopard(), &model);
@@ -143,6 +165,20 @@ mod tests {
             "unpruned speedup {} should be near 1.0",
             ae.speedup()
         );
+    }
+
+    #[test]
+    fn from_results_matches_compare_to_baseline() {
+        let w = workload(0.3, 7);
+        let model = EnergyModel::calibrated();
+        let cfg = TileConfig::ae_leopard();
+        let direct = compare_to_baseline(&w, &cfg, &model);
+        let baseline_cfg = TileConfig::baseline();
+        let baseline = simulate_head(&w, &baseline_cfg);
+        let evaluated = simulate_head(&w, &cfg);
+        let shared =
+            BaselineComparison::from_results(&baseline_cfg, &baseline, &cfg, &evaluated, &model);
+        assert_eq!(direct, shared);
     }
 
     #[test]

@@ -164,7 +164,11 @@ pub fn scale_to_process(
 /// (bit-serial cycles scale linearly with K bits). Only the front-end share
 /// of the work scales; the back-end (16-bit `·V`) is unchanged, so a
 /// conservative 50/50 split is applied.
-pub fn scale_qk_bits(metrics: &AcceleratorMetrics, target_bits: u32, suffix: &str) -> AcceleratorMetrics {
+pub fn scale_qk_bits(
+    metrics: &AcceleratorMetrics,
+    target_bits: u32,
+    suffix: &str,
+) -> AcceleratorMetrics {
     let ratio = metrics.qk_bits as f64 / target_bits as f64;
     let frontend_share = 0.5;
     let gain = 1.0 + frontend_share * (ratio - 1.0);
@@ -277,7 +281,10 @@ mod tests {
         let energy_ratio = dennard_row.gops_per_joule / spatten_row.gops_per_joule;
         let area_eff_ratio = dennard_row.gops_per_mm2() / spatten_row.gops_per_mm2();
         assert!(energy_ratio > 2.0, "energy ratio {energy_ratio}");
-        assert!(area_eff_ratio > 1.2, "area-efficiency ratio {area_eff_ratio}");
+        assert!(
+            area_eff_ratio > 1.2,
+            "area-efficiency ratio {area_eff_ratio}"
+        );
     }
 
     #[test]

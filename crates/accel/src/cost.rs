@@ -1,0 +1,128 @@
+//! Per-head cost accounting: one simulation priced in cycles, wall-clock
+//! time at the tile's clock, and energy.
+//!
+//! The suite-execution engine (`leopard-runtime`) schedules thousands of
+//! per-head simulation jobs and aggregates their costs; this module gives it
+//! a single value type that carries everything a scheduler or report needs,
+//! computed from a [`HeadSimResult`] without re-running the simulator.
+//!
+//! The module also pins down the thread-safety contract the engine relies
+//! on: workload and result types must be `Send + Sync` so workloads can be
+//! shared read-only across worker threads and results can be collected from
+//! them. The assertions below make that a compile-time guarantee instead of
+//! an accident of field types.
+
+use crate::config::TileConfig;
+use crate::energy::{energy_from_events, EnergyBreakdown, EnergyModel};
+use crate::sim::{simulate_head, HeadSimResult, HeadWorkload};
+
+/// Compile-time guarantee that the simulator's workload/result types can
+/// cross thread boundaries (shared read-only or moved out of workers).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HeadWorkload>();
+    assert_send_sync::<HeadSimResult>();
+    assert_send_sync::<TileConfig>();
+    assert_send_sync::<EnergyModel>();
+    assert_send_sync::<EnergyBreakdown>();
+    assert_send_sync::<HeadCost>();
+};
+
+/// The full cost of simulating one attention head on one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadCost {
+    /// Total tile cycles to drain the head.
+    pub cycles: u64,
+    /// Wall-clock latency implied by the cycle count at the tile's clock,
+    /// in microseconds.
+    pub latency_us: f64,
+    /// Energy breakdown priced by the event-based model.
+    pub energy: EnergyBreakdown,
+    /// Fraction of scores pruned.
+    pub pruning_rate: f64,
+    /// Mean K magnitude bits processed per score.
+    pub mean_bits: f64,
+}
+
+impl HeadCost {
+    /// Prices an already-computed simulation result.
+    pub fn from_result(result: &HeadSimResult, config: &TileConfig, model: &EnergyModel) -> Self {
+        let latency_us = result.total_cycles as f64 / config.frequency_mhz as f64;
+        Self {
+            cycles: result.total_cycles,
+            latency_us,
+            energy: energy_from_events(&result.events, config, model),
+            pruning_rate: result.pruning_rate(),
+            mean_bits: result.mean_bits_processed(),
+        }
+    }
+
+    /// Total energy across all components (same units as the model).
+    pub fn energy_total(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Energy-delay product, the joint figure of merit used when comparing
+    /// design points (lower is better).
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy.total() * self.latency_us
+    }
+}
+
+/// Simulates a head and prices it in one call.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the workload is degenerate
+/// (zero-length sequence) — the same conditions as [`simulate_head`].
+pub fn head_cost(workload: &HeadWorkload, config: &TileConfig, model: &EnergyModel) -> HeadCost {
+    let result = simulate_head(workload, config);
+    HeadCost::from_result(&result, config, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_tensor::rng;
+
+    fn workload(seed: u64) -> HeadWorkload {
+        let mut r = rng::seeded(seed);
+        let q = rng::normal_matrix(&mut r, 24, 32, 0.0, 1.0);
+        let k = rng::normal_matrix(&mut r, 24, 32, 0.0, 1.0);
+        HeadWorkload::from_float(&q, &k, 0.2, 12)
+    }
+
+    #[test]
+    fn cost_matches_underlying_simulation() {
+        let w = workload(1);
+        let cfg = TileConfig::ae_leopard();
+        let model = EnergyModel::calibrated();
+        let sim = simulate_head(&w, &cfg);
+        let cost = head_cost(&w, &cfg, &model);
+        assert_eq!(cost.cycles, sim.total_cycles);
+        assert_eq!(cost.energy, energy_from_events(&sim.events, &cfg, &model));
+        assert!((cost.pruning_rate - sim.pruning_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_follows_clock_frequency() {
+        let w = workload(2);
+        let model = EnergyModel::calibrated();
+        let cfg = TileConfig::ae_leopard();
+        let cost = head_cost(&w, &cfg, &model);
+        let expected = cost.cycles as f64 / cfg.frequency_mhz as f64;
+        assert!((cost.latency_us - expected).abs() < 1e-12);
+        assert!(cost.latency_us > 0.0);
+    }
+
+    #[test]
+    fn pruned_workload_costs_less_than_baseline() {
+        let w = workload(3);
+        let model = EnergyModel::calibrated();
+        let base = head_cost(&w, &TileConfig::baseline(), &model);
+        let ae = head_cost(&w, &TileConfig::ae_leopard(), &model);
+        assert!(ae.cycles < base.cycles);
+        assert!(ae.energy_total() < base.energy_total());
+        assert!(ae.energy_delay_product() < base.energy_delay_product());
+    }
+}

@@ -195,8 +195,12 @@ mod tests {
         let dpu = make_dpu(TileConfig::ae_leopard());
         let plan = TileConfig::ae_leopard().bit_serial_plan();
         // Q and K anti-correlated: dot product strongly negative.
-        let q: Vec<i32> = (0..64).map(|i| if i % 2 == 0 { 1500 } else { -1500 }).collect();
-        let k_codes: Vec<i32> = (0..64).map(|i| if i % 2 == 0 { -1200 } else { 1200 }).collect();
+        let q: Vec<i32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1500 } else { -1500 })
+            .collect();
+        let k_codes: Vec<i32> = (0..64)
+            .map(|i| if i % 2 == 0 { -1200 } else { 1200 })
+            .collect();
         let k = BitSerialVector::new(&k_codes, plan);
         let outcome = dpu.compute(&q, &k, 0);
         assert!(outcome.pruned);
@@ -254,7 +258,10 @@ mod tests {
         let k = BitSerialVector::new(&k_codes, plan);
         let low = dpu.compute(&q, &k, -100_000);
         let high = dpu.compute(&q, &k, 100_000);
-        assert!(high.cycles <= low.cycles, "a stricter threshold cannot need more cycles");
+        assert!(
+            high.cycles <= low.cycles,
+            "a stricter threshold cannot need more cycles"
+        );
     }
 
     #[test]

@@ -52,9 +52,10 @@ impl EnergyModel {
     /// a dense attention head reproduces the Figure 11 baseline shares.
     ///
     /// Derivation sketch (per `s x s` score tile, baseline): every score costs
-    /// one full DPU cycle + one full key read in the front-end and one softmax
-    /// + one `·V` MAC + one value read in the back-end, so the five component
-    /// shares are directly proportional to the five constants below.
+    /// one full DPU cycle + one full key read in the front-end, and one
+    /// softmax + one `·V` MAC + one value read in the back-end, so the five
+    /// component shares are directly proportional to the five constants
+    /// below.
     pub fn calibrated() -> Self {
         Self {
             // Figure 11 baseline shares: QK 17.3%, Kmem 16.7%, softmax 14.1%,

@@ -26,6 +26,9 @@
 //! * [`compare`] — throughput / energy-efficiency / area-efficiency
 //!   comparison against A³ and SpAtten with technology and bit-width scaling
 //!   (Table 2).
+//! * [`cost`] — per-head cost accounting (cycles, latency, energy) for the
+//!   suite-execution engine, plus the compile-time `Send + Sync` guarantees
+//!   parallel execution relies on.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub mod area;
 pub mod baseline;
 pub mod compare;
 pub mod config;
+pub mod cost;
 pub mod dpu;
 pub mod energy;
 pub mod schedule;
@@ -56,6 +60,7 @@ pub mod sim;
 pub mod softmax;
 
 pub use config::TileConfig;
+pub use cost::{head_cost, HeadCost};
 pub use dpu::{DotProductOutcome, QkDpu};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use schedule::{schedule_layer, schedule_model, LayerSchedule, ModelSchedule};

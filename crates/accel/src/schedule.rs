@@ -130,7 +130,10 @@ pub fn schedule_model(
     config: &TileConfig,
     model: &EnergyModel,
 ) -> ModelSchedule {
-    assert!(!layer_workloads.is_empty(), "a model has at least one layer");
+    assert!(
+        !layer_workloads.is_empty(),
+        "a model has at least one layer"
+    );
     ModelSchedule {
         layers: layer_workloads
             .iter()
@@ -188,7 +191,11 @@ mod tests {
         assert_eq!(schedule.layers.len(), 2);
         assert_eq!(
             schedule.total_cycles(),
-            schedule.layers.iter().map(|l| l.makespan_cycles).sum::<u64>()
+            schedule
+                .layers
+                .iter()
+                .map(|l| l.makespan_cycles)
+                .sum::<u64>()
         );
         assert!(schedule.total_energy() > 0.0);
         assert!(schedule.latency_us(&TileConfig::ae_leopard()) > 0.0);
@@ -204,7 +211,7 @@ mod tests {
             w.threshold_int = i64::MIN / 4;
         }
         let pruned = schedule_model(&pruned_layers, &TileConfig::ae_leopard(), &model);
-        let dense = schedule_model(&[unpruned].to_vec(), &TileConfig::ae_leopard(), &model);
+        let dense = schedule_model(&[unpruned], &TileConfig::ae_leopard(), &model);
         assert!(pruned.total_cycles() < dense.total_cycles());
         assert!(pruned.total_energy() < dense.total_energy());
     }

@@ -200,9 +200,9 @@ pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimRes
     let mut stall = 0u64;
     let mut frontend_free_at = 0u64; // cycle when the front-end can start the next row
     let mut backend_free_at = 0u64; // cycle when the back-end finishes its queue
-    // Softmax pipeline overhead per surviving score in the back-end
-    // (exponent lookup + accumulate + weighted MAC) — one score per cycle,
-    // matching the 1-D MAC array that consumes scores sequentially.
+                                    // Softmax pipeline overhead per surviving score in the back-end
+                                    // (exponent lookup + accumulate + weighted MAC) — one score per cycle,
+                                    // matching the 1-D MAC array that consumes scores sequentially.
     let backend_cycles_per_score = 1u64;
 
     for q_row in &workload.q_codes {
@@ -296,7 +296,10 @@ mod tests {
         let w = workload(32, 64, 0.3, 2);
         let base = simulate_head(&w, &TileConfig::baseline());
         let ae = simulate_head(&w, &TileConfig::ae_leopard());
-        assert!(ae.pruned_scores > 0, "threshold 0.3 should prune many scores");
+        assert!(
+            ae.pruned_scores > 0,
+            "threshold 0.3 should prune many scores"
+        );
         assert!(ae.pruning_rate() > 0.3);
         assert!(
             ae.total_cycles < base.total_cycles,

@@ -51,8 +51,14 @@ impl SoftmaxLut {
     /// Panics if the configuration is degenerate (no entries, non-negative
     /// `min_input`, or zero output bits).
     pub fn new(config: SoftmaxLutConfig) -> Self {
-        assert!(config.index_bits >= 2 && config.index_bits <= 16, "index bits in 2..=16");
-        assert!(config.output_bits >= 4 && config.output_bits <= 24, "output bits in 4..=24");
+        assert!(
+            config.index_bits >= 2 && config.index_bits <= 16,
+            "index bits in 2..=16"
+        );
+        assert!(
+            config.output_bits >= 4 && config.output_bits <= 24,
+            "output bits in 4..=24"
+        );
         assert!(config.min_input < 0.0, "min_input must be negative");
         let entries_count = 1usize << config.index_bits;
         let scale = ((1u64 << config.output_bits) - 1) as f32;
@@ -80,7 +86,7 @@ impl SoftmaxLut {
     /// Table size in bytes (16-bit entries are stored in two bytes each, as
     /// in the paper's 1 KB figure for 512 entries).
     pub fn size_bytes(&self) -> usize {
-        self.entries.len() * ((self.config.output_bits as usize + 7) / 8)
+        self.entries.len() * (self.config.output_bits as usize).div_ceil(8)
     }
 
     /// Looks up the fixed-point exponential of a *shifted* (non-positive)

@@ -33,11 +33,7 @@ pub type LossBuilder = dyn Fn(&Tape, Var) -> Var;
 /// });
 /// assert!(err < 1e-2);
 /// ```
-pub fn check_unary(
-    input: &Matrix,
-    epsilon: f32,
-    build_loss: impl Fn(&Tape, Var) -> Var,
-) -> f32 {
+pub fn check_unary(input: &Matrix, epsilon: f32, build_loss: impl Fn(&Tape, Var) -> Var) -> f32 {
     // Analytic gradient.
     let tape = Tape::new();
     let leaf = tape.leaf(input.clone());

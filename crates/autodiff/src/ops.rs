@@ -6,7 +6,7 @@
 //! learned-pruning fine-tuning loop need; anything more exotic can be added
 //! through [`Tape::custom_unary`] / [`Tape::custom_binary`].
 
-use crate::tape::{Tape, Var};
+use crate::tape::{Pullback, Tape, Var};
 use leopard_tensor::{ops, Matrix};
 
 impl Tape {
@@ -88,16 +88,12 @@ impl Tape {
     /// Transpose.
     pub fn transpose(&self, a: Var) -> Var {
         let value = self.with_value(a, |av| av.transpose());
-        self.push_op(
-            value,
-            vec![(a.id, Box::new(|up: &Matrix| up.transpose()))],
-        )
+        self.push_op(value, vec![(a.id, Box::new(|up: &Matrix| up.transpose()))])
     }
 
     /// Broadcast-adds a `1 x cols` bias row vector to every row of `a`.
     pub fn add_row_broadcast(&self, a: Var, bias: Var) -> Var {
-        let value = self
-            .with_value(a, |av| self.with_value(bias, |bv| av.add_row_broadcast(bv)));
+        let value = self.with_value(a, |av| self.with_value(bias, |bv| av.add_row_broadcast(bv)));
         self.push_op(
             value,
             vec![
@@ -157,9 +153,7 @@ impl Tape {
             value,
             vec![(
                 a.id,
-                Box::new(move |up: &Matrix| {
-                    up.hadamard(&a_val.map(gelu_derivative))
-                }),
+                Box::new(move |up: &Matrix| up.hadamard(&a_val.map(gelu_derivative))),
             )],
         )
     }
@@ -381,7 +375,7 @@ impl Tape {
         let refs: Vec<&Matrix> = values.iter().collect();
         let value = Matrix::hstack(&refs);
         let rows = value.rows();
-        let mut parents: Vec<(usize, Box<dyn Fn(&Matrix) -> Matrix>)> = Vec::new();
+        let mut parents: Vec<(usize, Pullback)> = Vec::new();
         let mut offset = 0usize;
         for (part, val) in parts.iter().zip(values.iter()) {
             let cols = val.cols();
@@ -464,12 +458,7 @@ mod tests {
     #[test]
     fn activations_match_finite_difference() {
         let x = sample(2, 5, 3);
-        for (name, f) in [
-            ("tanh", 0usize),
-            ("sigmoid", 1),
-            ("relu", 2),
-            ("gelu", 3),
-        ] {
+        for (name, f) in [("tanh", 0usize), ("sigmoid", 1), ("relu", 2), ("gelu", 3)] {
             let err = check_unary(&x, 1e-2, move |tape, v| {
                 let y = match f {
                     0 => tape.tanh(v),
@@ -593,7 +582,10 @@ mod tests {
         let joined = tape.hstack(&[a, b]);
         assert_eq!(tape.shape(joined), (2, 3));
         // Weight only the column that came from `a`.
-        let mask = tape.constant(Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]]));
+        let mask = tape.constant(Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+        ]));
         let masked = tape.hadamard(joined, mask);
         let loss = tape.sum(masked);
         tape.backward(loss);

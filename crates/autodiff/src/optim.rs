@@ -317,7 +317,10 @@ mod tests {
             adam.step_single(&mut w, &grad);
         }
         assert!((w[(0, 0)] - 1.0).abs() < 0.05);
-        assert!(w[(0, 1)] > 0.3, "rarely-updated coordinate should still move");
+        assert!(
+            w[(0, 1)] > 0.3,
+            "rarely-updated coordinate should still move"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub struct Var {
 
 /// A pullback: given the gradient flowing into a node, produce the gradient
 /// contribution for one of its parents.
-type Pullback = Box<dyn Fn(&Matrix) -> Matrix>;
+pub(crate) type Pullback = Box<dyn Fn(&Matrix) -> Matrix>;
 
 struct Node {
     value: Matrix,
@@ -106,10 +106,7 @@ impl Tape {
     /// is calling this before `backward`).
     pub fn grad(&self, var: Var) -> Matrix {
         let grads = self.grads.borrow();
-        assert!(
-            !grads.is_empty(),
-            "Tape::grad called before Tape::backward"
-        );
+        assert!(!grads.is_empty(), "Tape::grad called before Tape::backward");
         match &grads[var.id] {
             Some(g) => g.clone(),
             None => {
@@ -151,10 +148,7 @@ impl Tape {
     ) -> Var {
         self.push(Node {
             value,
-            parents: vec![
-                (a.id, Box::new(pullback_a)),
-                (b.id, Box::new(pullback_b)),
-            ],
+            parents: vec![(a.id, Box::new(pullback_a)), (b.id, Box::new(pullback_b))],
             requires_grad: true,
         })
     }
@@ -223,10 +217,7 @@ impl std::fmt::Debug for Tape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tape")
             .field("nodes", &self.nodes.borrow().len())
-            .field(
-                "backward_ran",
-                &!self.grads.borrow().is_empty(),
-            )
+            .field("backward_ran", &!self.grads.borrow().is_empty())
             .finish()
     }
 }

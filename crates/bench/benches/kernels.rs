@@ -28,9 +28,7 @@ fn dot_product_kernels(c: &mut Criterion) {
                 .sum::<f32>()
         })
     });
-    group.bench_function("integer_codes_64", |b| {
-        b.iter(|| qq.dot_rows(0, &kq, 0))
-    });
+    group.bench_function("integer_codes_64", |b| b.iter(|| qq.dot_rows(0, &kq, 0)));
 
     let ae = TileConfig::ae_leopard();
     let dpu = QkDpu::new(ae);

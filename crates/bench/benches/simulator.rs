@@ -13,7 +13,11 @@ fn simulator(c: &mut Criterion) {
     for rate in [0.6f32, 0.9] {
         let threshold = threshold_for_rate(&q, &k, rate);
         let workload = HeadWorkload::from_float(&q, &k, threshold, 12);
-        for config in [TileConfig::baseline(), TileConfig::ae_leopard(), TileConfig::hp_leopard()] {
+        for config in [
+            TileConfig::baseline(),
+            TileConfig::ae_leopard(),
+            TileConfig::hp_leopard(),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(config.name, format!("prune{:.0}%", rate * 100.0)),
                 &workload,

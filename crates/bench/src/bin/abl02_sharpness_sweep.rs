@@ -42,7 +42,14 @@ fn main() {
         "{:<8} {:<8} {:>12} {:>16} {:>12}",
         "s", "c", "sparsity", "mean threshold", "pruned acc"
     );
-    for (s, c) in [(1.0f32, 1000.0f32), (4.0, 1000.0), (10.0, 1000.0), (25.0, 1000.0), (10.0, 100.0), (10.0, 10_000.0)] {
+    for (s, c) in [
+        (1.0f32, 1000.0f32),
+        (4.0, 1000.0),
+        (10.0, 1000.0),
+        (25.0, 1000.0),
+        (10.0, 100.0),
+        (10.0, 10_000.0),
+    ] {
         let (sparsity, threshold, acc) = run(s, c);
         println!(
             "{:<8.1} {:<8.0} {:>11.1}% {:>16.4} {:>11.1}%",

@@ -6,9 +6,9 @@
 
 use leopard_accel::config::TileConfig;
 use leopard_bench::header;
+use leopard_bench::percent;
 use leopard_quant::bitserial::BitSerialVector;
 use leopard_quant::fixed::QuantParams;
-use leopard_bench::percent;
 use leopard_tensor::rng;
 use leopard_workloads::pipeline::{synthesize_qk, threshold_for_rate};
 
@@ -66,7 +66,10 @@ fn main() {
         }
     }
 
-    println!("{:<28} {:>16} {:>20}", "policy", "front-end cycles", "wrongly pruned scores");
+    println!(
+        "{:<28} {:>16} {:>20}",
+        "policy", "front-end cycles", "wrongly pruned scores"
+    );
     println!(
         "{:<28} {:>16} {:>20}",
         "conservative margin (paper)", conservative_cycles, conservative_false_prunes

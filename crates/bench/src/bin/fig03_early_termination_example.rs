@@ -18,7 +18,11 @@ fn main() {
             i + 1,
             p,
             m,
-            if *stop { "yes — terminate" } else { "no — continue" }
+            if *stop {
+                "yes — terminate"
+            } else {
+                "no — continue"
+            }
         );
     }
     println!(

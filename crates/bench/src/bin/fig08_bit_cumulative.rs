@@ -30,7 +30,9 @@ fn main() {
             *v /= tasks.len() as f64;
         }
         mean_bits /= tasks.len() as f64;
-        let row: String = (1..=11).map(|b| format!("{:>6.2}", curve[b.min(curve.len() - 1)])).collect();
+        let row: String = (1..=11)
+            .map(|b| format!("{:>6.2}", curve[b.min(curve.len() - 1)]))
+            .collect();
         println!("{:<14} {row}   (mean bits {:.1})", family.name(), mean_bits);
     }
     println!("\npaper reference mean bits per pruned score:");

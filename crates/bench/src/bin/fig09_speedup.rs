@@ -1,5 +1,9 @@
 //! Figure 9: speedup of AE-LeOPArd and HP-LeOPArd over the unpruned baseline
 //! for every task, with geometric-mean rows per family and overall.
+//!
+//! The suite runs on the `leopard-runtime` parallel engine; pass
+//! `--threads N` to control the worker count (results are identical for
+//! every thread count).
 
 use leopard_bench::{gmean, harness_options, header, ratio, run_suite};
 use leopard_transformer::config::ModelFamily;

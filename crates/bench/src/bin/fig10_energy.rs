@@ -1,5 +1,9 @@
 //! Figure 10: total energy reduction of AE-LeOPArd and HP-LeOPArd relative
 //! to the baseline, per task and as geometric means.
+//!
+//! The suite runs on the `leopard-runtime` parallel engine; pass
+//! `--threads N` to control the worker count (results are identical for
+//! every thread count).
 
 use leopard_bench::{gmean, harness_options, header, ratio, run_suite};
 use leopard_transformer::config::ModelFamily;

@@ -9,8 +9,15 @@ fn main() {
     header("Figure 12 — AE-LeOPArd area breakdown (65 nm)");
     let model = AreaModel::calibrated();
     let ae = model.breakdown(&TileConfig::ae_leopard());
-    println!("total area: {:.2} mm² (paper layout: {:.2} mm² = 2.3 x 2.8)", ae.total(), AE_LAYOUT_AREA_MM2);
-    println!("{:<24} {:>10} {:>10} {:>12}", "component", "mm²", "share", "paper share");
+    println!(
+        "total area: {:.2} mm² (paper layout: {:.2} mm² = 2.3 x 2.8)",
+        ae.total(),
+        AE_LAYOUT_AREA_MM2
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>12}",
+        "component", "mm²", "share", "paper share"
+    );
     for ((label, area), (_, paper_share)) in ae.components().iter().zip(AE_AREA_SHARES.iter()) {
         println!(
             "{:<24} {:>10.3} {:>9.1}% {:>11.0}%",

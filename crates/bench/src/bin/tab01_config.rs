@@ -5,7 +5,11 @@ use leopard_bench::header;
 
 fn main() {
     header("Table 1 — LeOPArd tile microarchitectural configuration");
-    for config in [TileConfig::ae_leopard(), TileConfig::hp_leopard(), TileConfig::baseline()] {
+    for config in [
+        TileConfig::ae_leopard(),
+        TileConfig::hp_leopard(),
+        TileConfig::baseline(),
+    ] {
         println!("\n[{}]", config.name);
         println!(
             "  QK-PU            : {} QK-DPUs, each {} taps, {}x{}-bit bit-serial",

@@ -5,12 +5,17 @@
 //! the paper reports, and — where the paper's number is known — prints the
 //! reference value next to the measured one so EXPERIMENTS.md can be filled
 //! in directly from the harness output.
+//!
+//! Suite execution goes through the parallel engine in `leopard-runtime`;
+//! pass `--threads N` to any binary (or set `LEOPARD_THREADS`) to control
+//! the worker count. Results are bit-identical for every thread count.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use leopard_workloads::pipeline::{run_task, PipelineOptions, TaskResult};
-use leopard_workloads::suite::{full_suite, TaskDescriptor};
+use leopard_runtime::SuiteRunner;
+use leopard_workloads::pipeline::{PipelineOptions, TaskResult};
+use leopard_workloads::suite::{full_suite, quick_subset, TaskDescriptor};
 
 /// Prints a section header in a consistent style.
 pub fn header(title: &str) {
@@ -41,19 +46,54 @@ pub fn harness_options() -> PipelineOptions {
     }
 }
 
-/// Runs the hardware pipeline over the whole suite (or a stratified subset if
-/// `--quick` is passed) and returns `(descriptor, result)` pairs.
+/// Worker-thread count for the harness binaries: `--threads N` on the
+/// command line, else the `LEOPARD_THREADS` environment variable, else 0
+/// (one worker per core).
+pub fn harness_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            match args.next().map(|v| (v.parse::<usize>(), v)) {
+                Some((Ok(n), _)) => return n,
+                Some((Err(_), v)) => {
+                    eprintln!("warning: ignoring unparsable --threads value {v:?}")
+                }
+                None => eprintln!("warning: --threads expects a value"),
+            }
+        }
+    }
+    std::env::var("LEOPARD_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Builds a suite runner configured from the harness flags/environment.
+pub fn harness_runner() -> SuiteRunner {
+    SuiteRunner::new(harness_threads())
+}
+
+/// Runs the hardware pipeline over the whole suite (or a stratified subset
+/// if `--quick` is passed) on the parallel engine, returning `(descriptor,
+/// result)` pairs in suite order. Engine timing goes to stderr so the
+/// figure tables on stdout stay clean.
 pub fn run_suite(options: &PipelineOptions) -> Vec<(TaskDescriptor, TaskResult)> {
-    let quick = std::env::args().any(|a| a == "--quick");
-    full_suite()
-        .into_iter()
-        .enumerate()
-        .filter(|(i, _)| !quick || i % 4 == 0)
-        .map(|(_, task)| {
-            let result = run_task(&task, options);
-            (task, result)
-        })
-        .collect()
+    let tasks: Vec<TaskDescriptor> = if std::env::args().any(|a| a == "--quick") {
+        quick_subset(full_suite())
+    } else {
+        full_suite()
+    };
+    let runner = harness_runner();
+    let report = runner.run(&tasks, options);
+    eprintln!(
+        "[engine] {} jobs on {} threads in {:.3}s wall (build {:.3}s, simulate {:.3}s)",
+        report.jobs,
+        report.threads,
+        report.wall.as_secs_f64(),
+        report.stages.build.as_secs_f64(),
+        report.stages.simulate.as_secs_f64(),
+    );
+    tasks.into_iter().zip(report.results).collect()
 }
 
 /// Geometric mean helper for f64 slices (0.0 for an empty slice).

@@ -159,11 +159,8 @@ impl Finetuner {
 
             for (x, label) in train.iter() {
                 let tape = Tape::new();
-                let hook = SoftThresholdHook::new(
-                    &thresholds,
-                    self.config.soft_threshold,
-                    self.config.l0,
-                );
+                let hook =
+                    SoftThresholdHook::new(&thresholds, self.config.soft_threshold, self.config.l0);
                 let (logits, param_nodes) = model.forward_train(&tape, x, &hook);
                 let task_loss = tape.cross_entropy(logits, &[label]);
                 let loss = match hook.regularizer_total(&tape) {

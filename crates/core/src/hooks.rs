@@ -124,9 +124,7 @@ impl TrainScoreHook for SoftThresholdHook<'_> {
         {
             let mut state = self.state.borrow_mut();
             state.regularizer_terms.push(reg);
-            state
-                .stats
-                .record_layer(layer, soft_values.len(), pruned);
+            state.stats.record_layer(layer, soft_values.len(), pruned);
         }
         soft
     }
@@ -267,10 +265,7 @@ mod tests {
         );
         let tape = Tape::new();
         // Half the scores are clearly below the threshold.
-        let scores = tape.constant(Matrix::from_rows(&[
-            vec![1.0, -1.0],
-            vec![0.9, -2.0],
-        ]));
+        let scores = tape.constant(Matrix::from_rows(&[vec![1.0, -1.0], vec![0.9, -2.0]]));
         let _ = hook.on_scores(&tape, scores, 0, 0);
         let reg = hook.regularizer_total(&tape).expect("one term accumulated");
         // Normalized survivor fraction ~0.5 scaled by default lambda.
@@ -318,7 +313,10 @@ mod tests {
         // high-probability entries survive.
         let diff = (&pruned.output - &dense.output).frobenius_norm();
         let scale = dense.output.frobenius_norm();
-        assert!(diff / scale < 0.8, "pruned output unexpectedly far from dense");
+        assert!(
+            diff / scale < 0.8,
+            "pruned output unexpectedly far from dense"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl L0Config {
     /// Exact count of surviving scores (those strictly above `-c`), i.e. the
     /// quantity Equation 8a defines and the surrogate approximates.
     pub fn exact_count(&self, soft_scores: &Matrix) -> f32 {
-        let raw = soft_scores.iter().filter(|&&v| v > -self.clip + self.alpha).count() as f32;
+        let raw = soft_scores
+            .iter()
+            .filter(|&&v| v > -self.clip + self.alpha)
+            .count() as f32;
         if self.normalize && !soft_scores.is_empty() {
             raw / soft_scores.len() as f32
         } else {
@@ -183,8 +186,22 @@ mod tests {
     fn lambda_scales_the_term() {
         let tape = Tape::new();
         let s = tape.leaf(Matrix::from_rows(&[vec![0.5, -1000.0]]));
-        let small = l0_regularizer_op(&tape, s, L0Config { lambda: 0.1, ..L0Config::default() });
-        let large = l0_regularizer_op(&tape, s, L0Config { lambda: 1.0, ..L0Config::default() });
+        let small = l0_regularizer_op(
+            &tape,
+            s,
+            L0Config {
+                lambda: 0.1,
+                ..L0Config::default()
+            },
+        );
+        let large = l0_regularizer_op(
+            &tape,
+            s,
+            L0Config {
+                lambda: 1.0,
+                ..L0Config::default()
+            },
+        );
         let ratio = tape.value(large)[(0, 0)] / tape.value(small)[(0, 0)];
         assert!((ratio - 10.0).abs() < 1e-3);
     }

@@ -238,7 +238,17 @@ mod tests {
     #[test]
     fn tape_op_gradients_match_finite_differences_for_threshold() {
         let cfg = SoftThresholdConfig::new(4.0, 10.0);
-        let scores = rng::uniform_matrix(&mut rng::seeded(13), 4, 4, -1.0, 1.0);
+        // Keep scores away from the threshold: the derivative has a branch
+        // discontinuity at x == Th, where finite differences are invalid
+        // (same guard as derivatives_match_finite_differences_away_from_
+        // branch_point).
+        let scores = rng::uniform_matrix(&mut rng::seeded(13), 4, 4, -1.0, 1.0).map(|x| {
+            if (x - 0.15).abs() < 0.05 {
+                x + 0.1
+            } else {
+                x
+            }
+        });
         let th0 = Matrix::filled(1, 1, 0.15);
         let s_fixed = scores;
         let err = check_unary(&th0, 5e-3, move |tape, th| {

@@ -36,7 +36,10 @@ impl LayerThresholds {
     ///
     /// Panics if `values` is empty.
     pub fn from_values(values: Vec<f32>) -> Self {
-        assert!(!values.is_empty(), "a model has at least one attention layer");
+        assert!(
+            !values.is_empty(),
+            "a model has at least one attention layer"
+        );
         Self { values }
     }
 

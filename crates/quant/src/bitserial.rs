@@ -29,7 +29,10 @@ impl BitSerialPlan {
     /// Panics if `bits_per_cycle` is zero or exceeds `magnitude_bits`, or if
     /// `magnitude_bits` exceeds 31.
     pub fn new(magnitude_bits: u32, bits_per_cycle: u32) -> Self {
-        assert!(magnitude_bits > 0 && magnitude_bits <= 31, "magnitude bits in 1..=31");
+        assert!(
+            magnitude_bits > 0 && magnitude_bits <= 31,
+            "magnitude bits in 1..=31"
+        );
         assert!(
             bits_per_cycle > 0 && bits_per_cycle <= magnitude_bits,
             "bits per cycle must be in 1..=magnitude_bits"

@@ -131,7 +131,10 @@ impl QuantizedMatrix {
         Matrix::from_vec(
             self.rows,
             self.cols,
-            self.codes.iter().map(|&c| self.params.dequantize(c)).collect(),
+            self.codes
+                .iter()
+                .map(|&c| self.params.dequantize(c))
+                .collect(),
         )
         .expect("shape consistent by construction")
     }
@@ -183,7 +186,10 @@ mod tests {
         let params = QuantParams::from_max_abs(12, 2.0);
         for &x in &[0.0f32, 0.5, -1.7, 1.999, -2.0] {
             let err = (params.dequantize(params.quantize(x)) - x).abs();
-            assert!(err <= params.max_error() + 1e-6, "error {err} too large for {x}");
+            assert!(
+                err <= params.max_error() + 1e-6,
+                "error {err} too large for {x}"
+            );
         }
     }
 

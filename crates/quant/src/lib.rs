@@ -32,6 +32,6 @@ pub mod bitserial;
 pub mod fixed;
 pub mod signmag;
 
-pub use bitserial::{BitSerialVector, BitSerialPlan};
+pub use bitserial::{BitSerialPlan, BitSerialVector};
 pub use fixed::{QuantParams, QuantizedMatrix};
 pub use signmag::SignMagnitude;

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! small slice of rand's API the workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range}`, and
+//! `distributions::Uniform` — backed by a xoshiro256++ generator seeded
+//! through SplitMix64. Streams are deterministic for a given seed and stable
+//! forever (unlike the real `StdRng`, whose streams may change between rand
+//! versions), which is exactly what a bit-reproducible paper harness wants.
+
+#![warn(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+/// Pseudo-random generator types.
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator, the workspace's only RNG.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding interface mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro256++ state, as
+        // recommended by the xoshiro authors.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types samplable by [`Rng::gen`]: `f32`/`f64` uniform in `[0, 1)`,
+/// integers uniform over their full range.
+pub trait Standard: Sized {
+    /// Converts 64 raw random bits into a sample.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> Self {
+        // 24 high bits -> uniform [0, 1) at f32 mantissa resolution.
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits >> 63 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = ((bits() as u128 * span) >> 64) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let offset = ((bits() as u128 * span) >> 64) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_sample_range!(i32, i64, u32, u64, usize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let u = ((bits() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                self.start + (self.end - self.start) * u as $t
+            }
+        }
+    )+};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// Sampling interface mirroring the parts of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of a [`Standard`]-distribution type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let mut this = self;
+        range.sample_from(&mut move || this.next_u64())
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+}
+
+/// Uniform distributions, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::rngs::StdRng;
+    use super::Rng;
+
+    /// Distribution sampling interface.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample(&self, rng: &mut StdRng) -> T;
+    }
+
+    /// Uniform `f32` distribution over a closed interval.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform {
+        lo: f32,
+        hi: f32,
+    }
+
+    impl Uniform {
+        /// Uniform over `[lo, hi]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `lo > hi`.
+        pub fn new_inclusive(lo: f32, hi: f32) -> Self {
+            assert!(lo <= hi, "uniform bounds must satisfy lo <= hi");
+            Self { lo, hi }
+        }
+    }
+
+    impl Distribution<f32> for Uniform {
+        fn sample(&self, rng: &mut StdRng) -> f32 {
+            let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            self.lo + (self.hi - self.lo) * u
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_f32_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&v));
+            let u = r.gen_range(0usize..7);
+            assert!(u < 7);
+            let f = r.gen_range(-4.0f32..4.0);
+            assert!((-4.0..4.0).contains(&f));
+        }
+        // Inclusive upper bound is actually reachable.
+        let mut hits = 0;
+        for _ in 0..2000 {
+            if r.gen_range(0i32..=3) == 3 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn uniform_distribution_covers_interval() {
+        use distributions::{Distribution, Uniform};
+        let d = Uniform::new_inclusive(-1.0, 1.0);
+        let mut r = StdRng::seed_from_u64(3);
+        let mean: f32 = (0..4000).map(|_| d.sample(&mut r)).sum::<f32>() / 4000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,614 @@
+//! The `leopard` command-line interface.
+//!
+//! Subcommands:
+//!
+//! * `leopard suite` — run the 43-task suite on the parallel engine and
+//!   print per-task rows, the suite summary, and execution timing.
+//! * `leopard task <name>` — run one task (matched by exact name or
+//!   case-insensitive substring) and print its full result.
+//! * `leopard sweep --param nqk=2..10` — design-space sweep over a tile
+//!   parameter, reusing cached workloads across design points.
+//! * `leopard list` — list the suite's tasks.
+//!
+//! Shared flags: `--threads N` (0 = all cores), `--max-seq-len L`,
+//! `--heads H`, `--quick` (every 4th task), `--full-scale`,
+//! `--json PATH` / `--csv PATH` for structured reports.
+
+use crate::engine::{SuiteReport, SuiteRunner};
+use crate::pool::parallel_map;
+use crate::report::{suite_report_json, suite_table, summary_line, task_results_csv};
+use leopard_accel::config::TileConfig;
+use leopard_accel::cost::head_cost;
+use leopard_accel::energy::EnergyModel;
+use leopard_accel::sim::simulate_head;
+use leopard_workloads::pipeline::{PipelineOptions, SimUnitKind};
+use leopard_workloads::suite::{full_suite, quick_subset, TaskDescriptor};
+use std::sync::Arc;
+
+/// Options shared by every subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CommonOptions {
+    /// Worker threads; 0 means one per core.
+    pub threads: usize,
+    /// Pipeline configuration derived from the flags.
+    pub pipeline: PipelineOptions,
+    /// Keep only every 4th task (`--quick`).
+    pub quick: bool,
+    /// Write a JSON report here.
+    pub json_path: Option<String>,
+    /// Write a CSV report here.
+    pub csv_path: Option<String>,
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run the whole suite.
+    Suite(CommonOptions),
+    /// Run one task by name.
+    Task(String, CommonOptions),
+    /// Sweep a tile parameter over the representative task set.
+    Sweep(SweepSpec, CommonOptions),
+    /// List the suite.
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// Which tile parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Number of bit-serial QK-DPUs per tile (Figure 13).
+    NQk,
+    /// Bit-serial granularity `B` (Figure 14).
+    SerialBits,
+}
+
+impl SweepParam {
+    fn label(&self) -> &'static str {
+        match self {
+            SweepParam::NQk => "nqk",
+            SweepParam::SerialBits => "serial-bits",
+        }
+    }
+}
+
+/// A parsed `--param` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// The swept parameter.
+    pub param: SweepParam,
+    /// Design-point values, in sweep order.
+    pub values: Vec<u32>,
+    /// Sweep all 43 tasks instead of the representative subset.
+    pub all_tasks: bool,
+}
+
+const USAGE: &str = "\
+leopard — parallel suite-execution engine for the LeOPArd reproduction
+
+USAGE:
+    leopard suite [FLAGS]            run the 43-task suite in parallel
+    leopard task <name> [FLAGS]      run one task (exact or substring match)
+    leopard sweep --param P=SPEC     sweep a tile parameter (nqk, serial-bits)
+    leopard list                     list the suite's tasks
+    leopard help                     show this message
+
+FLAGS:
+    --threads N       worker threads (default 0 = one per core)
+    --max-seq-len L   cap the simulated sequence length (default 96)
+    --heads H         attention heads simulated per task (default 1)
+    --quick           keep every 4th task only
+    --full-scale      simulate the paper's full sequence lengths (slow)
+    --json PATH       write a JSON report
+    --csv PATH        write a CSV report
+    --all-tasks       (sweep) use all 43 tasks, not the representative set
+
+PARAM SPECS:
+    --param nqk=2..10            inclusive range
+    --param serial-bits=1,2,4,12 explicit list
+";
+
+/// Parses `a..b` (inclusive) or `a,b,c` into a value list.
+fn parse_values(spec: &str) -> Result<Vec<u32>, String> {
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let lo: u32 = lo
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad range start {lo:?}"))?;
+        let hi: u32 = hi
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad range end {hi:?}"))?;
+        if lo > hi {
+            return Err(format!("empty range {lo}..{hi}"));
+        }
+        Ok((lo..=hi).collect())
+    } else {
+        spec.split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map_err(|_| format!("bad value {:?}", v.trim()))
+            })
+            .collect()
+    }
+}
+
+/// Parses a `--param` argument such as `nqk=2..10`.
+fn parse_param(arg: &str) -> Result<(SweepParam, Vec<u32>), String> {
+    let (name, spec) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--param expects name=values, got {arg:?}"))?;
+    let param = match name.trim() {
+        "nqk" | "n_qk" => SweepParam::NQk,
+        "serial-bits" | "serial_bits" | "granularity" => SweepParam::SerialBits,
+        other => return Err(format!("unknown sweep parameter {other:?}")),
+    };
+    let values = parse_values(spec)?;
+    if values.is_empty() {
+        return Err("sweep needs at least one value".to_string());
+    }
+    for &v in &values {
+        let ok = match param {
+            SweepParam::NQk => (1..=64).contains(&v),
+            SweepParam::SerialBits => (1..=12).contains(&v),
+        };
+        if !ok {
+            return Err(format!("value {v} out of range for {}", param.label()));
+        }
+    }
+    Ok((param, values))
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let mut common = CommonOptions::default();
+    let mut task_name: Option<String> = None;
+    let mut sweep: Option<(SweepParam, Vec<u32>)> = None;
+    let mut all_tasks = false;
+
+    let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+                      flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} expects a value"))
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = take_value(&mut it, "--threads")?;
+                common.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--max-seq-len" => {
+                let v = take_value(&mut it, "--max-seq-len")?;
+                common.pipeline.max_sim_seq_len =
+                    v.parse().map_err(|_| format!("bad length {v:?}"))?;
+            }
+            "--heads" => {
+                let v = take_value(&mut it, "--heads")?;
+                common.pipeline.heads = v.parse().map_err(|_| format!("bad head count {v:?}"))?;
+            }
+            "--quick" => common.quick = true,
+            "--full-scale" => common.pipeline.max_sim_seq_len = usize::MAX,
+            "--json" => common.json_path = Some(take_value(&mut it, "--json")?),
+            "--csv" => common.csv_path = Some(take_value(&mut it, "--csv")?),
+            "--param" => sweep = Some(parse_param(&take_value(&mut it, "--param")?)?),
+            "--all-tasks" => all_tasks = true,
+            other if !other.starts_with('-') && sub == "task" && task_name.is_none() => {
+                task_name = Some(other.to_string());
+            }
+            other => {
+                return Err(format!(
+                    "unexpected argument {other:?} (try `leopard help`)"
+                ))
+            }
+        }
+    }
+
+    if all_tasks && sub != "sweep" {
+        return Err("--all-tasks only applies to `leopard sweep`".to_string());
+    }
+    match sub {
+        "suite" => Ok(Command::Suite(common)),
+        "task" => {
+            let name = task_name.ok_or("`leopard task` expects a task name")?;
+            if common.quick {
+                return Err("--quick does not apply to `leopard task`".to_string());
+            }
+            Ok(Command::Task(name, common))
+        }
+        "sweep" => {
+            let (param, values) = sweep.ok_or("`leopard sweep` expects --param name=values")?;
+            // Reject flags the sweep would silently ignore: it simulates
+            // head 0 of each task and prints its own table.
+            if common.quick {
+                return Err("--quick does not apply to `leopard sweep` (use --all-tasks to widen it instead)".to_string());
+            }
+            if common.pipeline.heads != PipelineOptions::default().heads {
+                return Err(
+                    "`leopard sweep` simulates head 0 only; --heads is not supported".to_string(),
+                );
+            }
+            if common.json_path.is_some() || common.csv_path.is_some() {
+                return Err(
+                    "`leopard sweep` has no structured report yet; --json/--csv are not supported"
+                        .to_string(),
+                );
+            }
+            Ok(Command::Sweep(
+                SweepSpec {
+                    param,
+                    values,
+                    all_tasks,
+                },
+                common,
+            ))
+        }
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown subcommand {other:?} (try `leopard help`)")),
+    }
+}
+
+fn write_structured_reports(report: &SuiteReport, common: &CommonOptions) -> Result<(), String> {
+    if let Some(path) = &common.json_path {
+        std::fs::write(path, suite_report_json(report))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote JSON report to {path}");
+    }
+    if let Some(path) = &common.csv_path {
+        std::fs::write(path, task_results_csv(&report.results))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote CSV report to {path}");
+    }
+    Ok(())
+}
+
+fn print_timing(report: &SuiteReport) {
+    println!(
+        "\n{} jobs on {} threads in {:.3}s wall (worker time: build {:.3}s, simulate {:.3}s, \
+         aggregate {:.3}s; workload cache: {} built, {} reused)",
+        report.jobs,
+        report.threads,
+        report.wall.as_secs_f64(),
+        report.stages.build.as_secs_f64(),
+        report.stages.simulate.as_secs_f64(),
+        report.stages.aggregate.as_secs_f64(),
+        report.cache.misses,
+        report.cache.hits,
+    );
+}
+
+fn run_suite_command(common: &CommonOptions) -> Result<(), String> {
+    let tasks = if common.quick {
+        quick_subset(full_suite())
+    } else {
+        full_suite()
+    };
+    let runner = SuiteRunner::new(common.threads);
+    println!(
+        "simulating {} tasks on {} threads (sequence lengths capped at {})...",
+        tasks.len(),
+        runner.threads(),
+        common.pipeline.max_sim_seq_len,
+    );
+    let report = runner.run(&tasks, &common.pipeline);
+
+    println!();
+    print!("{}", suite_table(&report.results));
+    println!("\n{}", summary_line(&report.results));
+    print_timing(&report);
+    write_structured_reports(&report, common)
+}
+
+fn run_task_command(name: &str, common: &CommonOptions) -> Result<(), String> {
+    let suite = full_suite();
+    let task = match suite.iter().find(|t| t.name == name) {
+        Some(exact) => exact,
+        None => {
+            let lowered = name.to_lowercase();
+            let matches: Vec<&TaskDescriptor> = suite
+                .iter()
+                .filter(|t| t.name.to_lowercase().contains(&lowered))
+                .collect();
+            match matches.as_slice() {
+                [] => return Err(format!("no task matches {name:?} (see `leopard list`)")),
+                [single] => *single,
+                many => {
+                    let names: Vec<&str> = many.iter().map(|t| t.name.as_str()).collect();
+                    return Err(format!(
+                        "{name:?} is ambiguous — it matches {}; use the exact name",
+                        names.join(", ")
+                    ));
+                }
+            }
+        }
+    };
+
+    let runner = SuiteRunner::new(common.threads);
+    let report = runner.run(std::slice::from_ref(task), &common.pipeline);
+    let r = &report.results[0];
+
+    println!("task:                 {}", r.name);
+    println!("simulated seq len:    {}", r.sim_seq_len);
+    println!(
+        "pruning rate:         {:.2}% measured / {:.2}% paper",
+        r.measured_pruning_rate * 100.0,
+        r.paper_pruning_rate * 100.0
+    );
+    println!(
+        "mean bits processed:  {:.2} of 11 magnitude bits",
+        r.mean_bits
+    );
+    println!(
+        "speedup:              AE {:.2}x / HP {:.2}x (paper: {:.2}x / {:.2}x)",
+        r.ae_speedup, r.hp_speedup, task.paper_ae_speedup, task.paper_hp_speedup
+    );
+    println!(
+        "energy reduction:     AE {:.2}x / HP {:.2}x (paper: {:.2}x / {:.2}x)",
+        r.ae_energy_reduction, r.hp_energy_reduction, task.paper_ae_energy, task.paper_hp_energy
+    );
+    println!("energy breakdown (baseline -> pruning-only -> LeOPArd):");
+    for ((label, base), (prune, full)) in r.baseline_breakdown.components().iter().zip(
+        r.pruning_only_breakdown
+            .components()
+            .iter()
+            .map(|(_, v)| *v)
+            .zip(r.leopard_breakdown.components().iter().map(|(_, v)| *v)),
+    ) {
+        println!("  {label:<14} {base:>12.1} {prune:>12.1} {full:>12.1}");
+    }
+    println!("cumulative pruning by processed bits:");
+    for (bits, frac) in r.cumulative_pruning_by_bits.iter().enumerate() {
+        println!("  {bits:>2} bits: {:>6.2}%", frac * 100.0);
+    }
+
+    // Per-configuration cost of head 0 (cycles / latency at the tile clock /
+    // energy), priced through leopard-accel's per-head cost API. The
+    // workload comes from the runner's cache, so this re-simulates three
+    // units but builds nothing.
+    let model = EnergyModel::calibrated();
+    let workload = runner.cache().head_workload(task, &common.pipeline, 0);
+    println!("per-head cost (head 0): cycles / latency / energy");
+    for kind in [
+        SimUnitKind::Baseline,
+        SimUnitKind::AeLeopard,
+        SimUnitKind::HpLeopard,
+    ] {
+        let config = kind.tile_config();
+        let cost = head_cost(&workload, &config, &model);
+        println!(
+            "  {:<14} {:>10} cyc {:>10.2} us {:>12.1}",
+            config.name,
+            cost.cycles,
+            cost.latency_us,
+            cost.energy_total()
+        );
+    }
+    print_timing(&report);
+    write_structured_reports(&report, common)
+}
+
+/// Representative tasks spanning the pruning-rate range (the Figure 13
+/// set), shared with the `fig13_nqk_sweep` harness. Use
+/// [`representative_tasks`] to resolve them against the suite.
+pub const REPRESENTATIVE_TASK_NAMES: [&str; 9] = [
+    "MemN2N Task-1",
+    "MemN2N Task-5",
+    "BERT-B G-QNLI",
+    "BERT-B G-MRPC",
+    "BERT-L G-SST",
+    "BERT-L SQuAD",
+    "ALBERT-XX-L SQuAD",
+    "GPT-2-L WikiText-2",
+    "ViT-B CIFAR-10",
+];
+
+/// Resolves [`REPRESENTATIVE_TASK_NAMES`] against the suite.
+///
+/// # Panics
+///
+/// Panics if any listed name no longer exists in the suite — a silent
+/// drop would skew every mean computed over the set.
+pub fn representative_tasks() -> Vec<TaskDescriptor> {
+    let tasks: Vec<TaskDescriptor> = full_suite()
+        .into_iter()
+        .filter(|t| REPRESENTATIVE_TASK_NAMES.contains(&t.name.as_str()))
+        .collect();
+    assert_eq!(
+        tasks.len(),
+        REPRESENTATIVE_TASK_NAMES.len(),
+        "a representative task name no longer matches the suite"
+    );
+    tasks
+}
+
+fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), String> {
+    let tasks: Vec<TaskDescriptor> = if spec.all_tasks {
+        full_suite()
+    } else {
+        representative_tasks()
+    };
+    let runner = SuiteRunner::new(common.threads);
+    println!(
+        "sweeping {} over {:?} on {} tasks, {} threads",
+        spec.param.label(),
+        spec.values,
+        tasks.len(),
+        runner.threads(),
+    );
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>12} {:>12}",
+        spec.param.label(),
+        "V-PU demand",
+        "V-PU util",
+        "mean cycles",
+        "prune rate"
+    );
+
+    let start = std::time::Instant::now();
+    for &value in &spec.values {
+        let param = spec.param;
+        let cache = Arc::clone(runner.cache());
+        let pipeline = common.pipeline;
+        let rows = parallel_map(runner.pool(), tasks.clone(), move |_, task| {
+            let workload = cache.head_workload(task, &pipeline, 0);
+            let config = match param {
+                SweepParam::NQk => TileConfig::ae_leopard().with_n_qk(value as usize),
+                SweepParam::SerialBits => TileConfig::ae_leopard().with_serial_bits(value),
+            };
+            let sim = simulate_head(&workload, &config);
+            (
+                sim.vpu_demand,
+                sim.vpu_utilization,
+                sim.total_cycles as f64,
+                sim.pruning_rate(),
+            )
+        });
+        let n = rows.len() as f64;
+        let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / n;
+        println!(
+            "{:>12} {:>11.1}% {:>11.1}% {:>12.0} {:>11.1}%",
+            value,
+            mean(|r| r.0) * 100.0,
+            mean(|r| r.1) * 100.0,
+            mean(|r| r.2),
+            mean(|r| r.3) * 100.0,
+        );
+    }
+    let stats = runner.cache().stats();
+    println!(
+        "\nswept {} design points in {:.3}s (workload cache: {} built, {} reused)",
+        spec.values.len(),
+        start.elapsed().as_secs_f64(),
+        stats.misses,
+        stats.hits,
+    );
+    Ok(())
+}
+
+fn run_list_command() {
+    println!(
+        "{:<4} {:<24} {:<12} {:>8} {:>8}",
+        "id", "task", "dataset", "seq", "prune%"
+    );
+    for t in full_suite() {
+        let cfg = t.model_config();
+        println!(
+            "{:<4} {:<24} {:<12} {:>8} {:>7.1}%",
+            t.id,
+            t.name,
+            t.dataset.label(),
+            cfg.seq_len,
+            t.paper_pruning_rate * 100.0
+        );
+    }
+}
+
+/// Parses and executes an invocation.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match parse(args)? {
+        Command::Suite(common) => run_suite_command(&common),
+        Command::Task(name, common) => run_task_command(&name, &common),
+        Command::Sweep(spec, common) => run_sweep_command(&spec, &common),
+        Command::List => {
+            run_list_command();
+            Ok(())
+        }
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_suite_flags() {
+        let cmd = parse(&args(&[
+            "suite",
+            "--threads",
+            "4",
+            "--quick",
+            "--max-seq-len",
+            "32",
+            "--json",
+            "/tmp/r.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Suite(common) => {
+                assert_eq!(common.threads, 4);
+                assert!(common.quick);
+                assert_eq!(common.pipeline.max_sim_seq_len, 32);
+                assert_eq!(common.json_path.as_deref(), Some("/tmp/r.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_task_with_name() {
+        let cmd = parse(&args(&["task", "BERT-B SQuAD", "--heads", "2"])).unwrap();
+        match cmd {
+            Command::Task(name, common) => {
+                assert_eq!(name, "BERT-B SQuAD");
+                assert_eq!(common.pipeline.heads, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sweep_range_and_list() {
+        assert_eq!(
+            parse_param("nqk=2..10").unwrap(),
+            (SweepParam::NQk, (2..=10).collect())
+        );
+        assert_eq!(
+            parse_param("serial-bits=1,2,4,12").unwrap(),
+            (SweepParam::SerialBits, vec![1, 2, 4, 12])
+        );
+        assert!(parse_param("nqk=10..2").is_err());
+        assert!(parse_param("bogus=1").is_err());
+        assert!(parse_param("nqk=0..3").is_err(), "0 DPUs is invalid");
+    }
+
+    #[test]
+    fn rejects_unknown_arguments() {
+        assert!(parse(&args(&["suite", "--bogus"])).is_err());
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["task"])).is_err(), "task needs a name");
+        assert!(parse(&args(&["sweep"])).is_err(), "sweep needs --param");
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn full_scale_flag_uncaps_seq_len() {
+        match parse(&args(&["suite", "--full-scale"])).unwrap() {
+            Command::Suite(common) => {
+                assert_eq!(common.pipeline.max_sim_seq_len, usize::MAX)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The parallel, deterministic suite-execution engine.
+//!
+//! A suite run decomposes into a DAG of jobs per task:
+//!
+//! ```text
+//! task ──▶ build(head 0) ──▶ sim(head 0, Baseline) ──┐
+//!      │                 ──▶ sim(head 0, AE)       ──┤
+//!      │                 ──▶ sim(head 0, HP)       ──┼──▶ aggregate(task) ──▶ result
+//!      │                 ──▶ sim(head 0, PruneOnly)──┤
+//!      └──▶ build(head 1) ──▶ ...                  ──┘
+//! ```
+//!
+//! Build jobs construct (or fetch from the [`WorkloadCache`]) the quantized
+//! head workload and then spawn the four per-configuration simulation units
+//! onto the worker's local queue; the unit that completes a task's last slot
+//! spawns the aggregation job. Aggregation consumes the slots in head order
+//! and runs exactly the same arithmetic as the serial
+//! [`run_task`](leopard_workloads::pipeline::run_task), so results are
+//! **bit-identical** for any thread count — parallelism only changes *when*
+//! a unit runs, never what it computes, because every unit is a pure
+//! function of `(task, options, head, kind)` with a fixed per-head seed.
+//!
+//! Per-stage wall-clock totals (build / simulate / aggregate) are
+//! accumulated with atomics and reported alongside the results.
+
+use crate::cache::{CacheStats, WorkloadCache};
+use crate::pool::{default_threads, ThreadPool};
+use leopard_workloads::pipeline::{
+    aggregate_task, simulate_unit, HeadUnitResults, PipelineOptions, SimUnitKind, TaskResult,
+};
+use leopard_workloads::suite::TaskDescriptor;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Wall-clock totals per pipeline stage, summed across workers (so with N
+/// threads the totals can exceed the run's wall time by up to N times).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTotals {
+    /// Time spent constructing workloads (cache misses only).
+    pub build: Duration,
+    /// Time spent in the cycle-level simulator.
+    pub simulate: Duration,
+    /// Time spent aggregating unit results into task results.
+    pub aggregate: Duration,
+}
+
+#[derive(Debug, Default)]
+struct StageClocks {
+    build_ns: AtomicU64,
+    simulate_ns: AtomicU64,
+    aggregate_ns: AtomicU64,
+}
+
+impl StageClocks {
+    fn charge(counter: &AtomicU64, start: Instant) {
+        counter.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> StageTotals {
+        StageTotals {
+            build: Duration::from_nanos(self.build_ns.load(Ordering::Relaxed)),
+            simulate: Duration::from_nanos(self.simulate_ns.load(Ordering::Relaxed)),
+            aggregate: Duration::from_nanos(self.aggregate_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Everything a suite run produces: per-task results (in input order) plus
+/// execution metadata.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// One result per input task, in input order. Bit-identical across
+    /// thread counts and runs.
+    pub results: Vec<TaskResult>,
+    /// Worker threads the engine ran on.
+    pub threads: usize,
+    /// End-to-end wall-clock time of the run.
+    pub wall: Duration,
+    /// Per-stage totals summed over workers.
+    pub stages: StageTotals,
+    /// Number of jobs executed (builds + simulation units + aggregations).
+    pub jobs: usize,
+    /// Workload-cache counters for this runner (cumulative across runs).
+    pub cache: CacheStats,
+}
+
+/// Per-task bookkeeping shared by that task's jobs.
+struct TaskState {
+    task: TaskDescriptor,
+    heads: usize,
+    /// `heads * 4` slots, indexed `head * 4 + kind.index()`.
+    slots: Vec<Mutex<Option<leopard_accel::sim::HeadSimResult>>>,
+    remaining: AtomicUsize,
+}
+
+impl TaskState {
+    fn assemble_heads(&self) -> Vec<HeadUnitResults> {
+        (0..self.heads)
+            .map(|head| {
+                let units: Vec<Option<_>> = SimUnitKind::ALL
+                    .iter()
+                    .map(|kind| {
+                        self.slots[head * SimUnitKind::ALL.len() + kind.index()]
+                            .lock()
+                            .expect("slot poisoned")
+                            .take()
+                    })
+                    .collect();
+                HeadUnitResults::from_indexed(units)
+            })
+            .collect()
+    }
+}
+
+/// The suite runner: a thread pool plus a workload cache that persists
+/// across runs (so parameter sweeps hit it).
+#[derive(Debug)]
+pub struct SuiteRunner {
+    pool: ThreadPool,
+    cache: Arc<WorkloadCache>,
+}
+
+impl SuiteRunner {
+    /// Creates a runner with `threads` workers; `0` means one worker per
+    /// available core.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        Self {
+            pool: ThreadPool::new(threads),
+            cache: Arc::new(WorkloadCache::new()),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The runner's workload cache.
+    pub fn cache(&self) -> &Arc<WorkloadCache> {
+        &self.cache
+    }
+
+    /// The runner's thread pool, for custom parallel work (sweeps, figure
+    /// harnesses) that wants to share workers with suite runs.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Executes the suite DAG over `tasks` and returns results in input
+    /// order, bit-identical to running
+    /// [`run_task`](leopard_workloads::pipeline::run_task) serially per task.
+    pub fn run(&self, tasks: &[TaskDescriptor], options: &PipelineOptions) -> SuiteReport {
+        let start = Instant::now();
+        let clocks = Arc::new(StageClocks::default());
+        let jobs = Arc::new(AtomicUsize::new(0));
+        let heads = options.heads.max(1);
+        let unit_count = SimUnitKind::ALL.len();
+
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, TaskResult)>();
+        for (task_index, task) in tasks.iter().enumerate() {
+            let state = Arc::new(TaskState {
+                task: task.clone(),
+                heads,
+                slots: (0..heads * unit_count).map(|_| Mutex::new(None)).collect(),
+                remaining: AtomicUsize::new(heads * unit_count),
+            });
+            for head in 0..heads {
+                self.spawn_build_job(
+                    task_index,
+                    Arc::clone(&state),
+                    *options,
+                    head,
+                    tx.clone(),
+                    Arc::clone(&clocks),
+                    Arc::clone(&jobs),
+                );
+            }
+        }
+        drop(tx);
+
+        let mut results: Vec<Option<TaskResult>> = (0..tasks.len()).map(|_| None).collect();
+        for (task_index, result) in rx {
+            results[task_index] = Some(result);
+        }
+
+        SuiteReport {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every task aggregates exactly once"))
+                .collect(),
+            threads: self.threads(),
+            wall: start.elapsed(),
+            stages: clocks.totals(),
+            jobs: jobs.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_build_job(
+        &self,
+        task_index: usize,
+        state: Arc<TaskState>,
+        options: PipelineOptions,
+        head: usize,
+        tx: Sender<(usize, TaskResult)>,
+        clocks: Arc<StageClocks>,
+        jobs: Arc<AtomicUsize>,
+    ) {
+        let spawner = self.pool.spawner();
+        let cache = Arc::clone(&self.cache);
+        self.pool.spawn(move || {
+            jobs.fetch_add(1, Ordering::Relaxed);
+            let build_start = Instant::now();
+            let workload = cache.head_workload(&state.task, &options, head);
+            StageClocks::charge(&clocks.build_ns, build_start);
+
+            for kind in SimUnitKind::ALL {
+                let state = Arc::clone(&state);
+                let workload = Arc::clone(&workload);
+                let tx = tx.clone();
+                let clocks = Arc::clone(&clocks);
+                let jobs = Arc::clone(&jobs);
+                spawner.spawn(move || {
+                    jobs.fetch_add(1, Ordering::Relaxed);
+                    let sim_start = Instant::now();
+                    let result = simulate_unit(&workload, kind);
+                    StageClocks::charge(&clocks.simulate_ns, sim_start);
+
+                    *state.slots[head * SimUnitKind::ALL.len() + kind.index()]
+                        .lock()
+                        .expect("slot poisoned") = Some(result);
+                    if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        // Last unit of the task: aggregate right here (the
+                        // slots are complete and this worker is warm).
+                        jobs.fetch_add(1, Ordering::Relaxed);
+                        let agg_start = Instant::now();
+                        let heads = state.assemble_heads();
+                        let result = aggregate_task(&state.task, &options, &heads);
+                        StageClocks::charge(&clocks.aggregate_ns, agg_start);
+                        // The receiver only disappears if the caller
+                        // panicked; dropping the result is then fine.
+                        let _ = tx.send((task_index, result));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// One-call convenience: run `tasks` on a fresh runner.
+pub fn run_suite_parallel(
+    tasks: &[TaskDescriptor],
+    options: &PipelineOptions,
+    threads: usize,
+) -> SuiteReport {
+    SuiteRunner::new(threads).run(tasks, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_workloads::pipeline::run_task;
+    use leopard_workloads::suite::full_suite;
+
+    fn quick() -> PipelineOptions {
+        PipelineOptions {
+            max_sim_seq_len: 24,
+            ..PipelineOptions::default()
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_a_small_slice() {
+        let tasks: Vec<_> = full_suite().into_iter().take(4).collect();
+        let options = quick();
+        let serial: Vec<TaskResult> = tasks.iter().map(|t| run_task(t, &options)).collect();
+        let report = run_suite_parallel(&tasks, &options, 4);
+        assert_eq!(report.results, serial);
+        assert_eq!(report.threads, 4);
+        // 4 tasks x (1 build + 4 sims + 1 aggregate).
+        assert_eq!(report.jobs, 4 * 6);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let runner = SuiteRunner::new(0);
+        assert!(runner.threads() >= 1);
+    }
+
+    #[test]
+    fn multi_head_tasks_aggregate_in_head_order() {
+        let tasks: Vec<_> = full_suite().into_iter().take(2).collect();
+        let options = PipelineOptions {
+            heads: 3,
+            ..quick()
+        };
+        let serial: Vec<TaskResult> = tasks.iter().map(|t| run_task(t, &options)).collect();
+        let report = run_suite_parallel(&tasks, &options, 3);
+        assert_eq!(report.results, serial);
+    }
+
+    #[test]
+    fn rerun_on_same_runner_hits_the_cache() {
+        let tasks: Vec<_> = full_suite().into_iter().take(3).collect();
+        let options = quick();
+        let runner = SuiteRunner::new(2);
+        let first = runner.run(&tasks, &options);
+        assert_eq!(first.cache.misses, 3);
+        let second = runner.run(&tasks, &options);
+        assert_eq!(second.cache.misses, 3, "second run rebuilds nothing");
+        assert_eq!(second.cache.hits, 3);
+        assert_eq!(first.results, second.results);
+    }
+
+    #[test]
+    fn empty_suite_is_fine() {
+        let report = run_suite_parallel(&[], &quick(), 2);
+        assert!(report.results.is_empty());
+        assert_eq!(report.jobs, 0);
+    }
+
+    #[test]
+    fn stage_totals_are_populated() {
+        let tasks: Vec<_> = full_suite().into_iter().take(2).collect();
+        let report = run_suite_parallel(&tasks, &quick(), 2);
+        assert!(report.stages.simulate > Duration::ZERO);
+        assert!(report.stages.build > Duration::ZERO);
+        assert!(report.wall > Duration::ZERO);
+    }
+}

@@ -1,0 +1,54 @@
+//! Parallel, deterministic suite-execution engine for the LeOPArd
+//! reproduction.
+//!
+//! The 43-task evaluation suite decomposes naturally into independent
+//! simulation units — one per `(task, head, tile configuration)` — and this
+//! crate executes that DAG on a work-stealing thread pool built from std
+//! threads and channels:
+//!
+//! * [`pool`] — the work-stealing [`ThreadPool`](pool::ThreadPool): per
+//!   worker local deques (LIFO for locality), a shared injector, FIFO
+//!   stealing, plus the order-preserving [`parallel_map`](pool::parallel_map)
+//!   helper for custom sweeps.
+//! * [`cache`] — the concurrent [`WorkloadCache`](cache::WorkloadCache)
+//!   memoizing workload construction (Q/K synthesis, threshold placement,
+//!   quantization) on `(task, seed, seq_len)` plus the quantization knobs,
+//!   so per-head construction happens once per run and parameter sweeps
+//!   reuse it across design points.
+//! * [`engine`] — the [`SuiteRunner`](engine::SuiteRunner): builds the job
+//!   DAG (build → four simulation units → aggregate per task), tracks
+//!   per-stage wall-clock totals, and returns results that are
+//!   **bit-identical** to the serial pipeline for any thread count (every
+//!   job is a pure function of its fixed per-head seed, and aggregation
+//!   consumes unit results in head order).
+//! * [`report`] — structured JSON/CSV rendering of suite reports with
+//!   timing and cache statistics.
+//! * [`cli`] — the `leopard` binary: `leopard suite`, `leopard task
+//!   <name>`, `leopard sweep --param nqk=2..10`, `leopard list`.
+//!
+//! # Example
+//!
+//! ```
+//! use leopard_runtime::engine::run_suite_parallel;
+//! use leopard_workloads::pipeline::{run_task, PipelineOptions};
+//! use leopard_workloads::suite::full_suite;
+//!
+//! let tasks: Vec<_> = full_suite().into_iter().take(2).collect();
+//! let options = PipelineOptions { max_sim_seq_len: 24, ..Default::default() };
+//! let report = run_suite_parallel(&tasks, &options, 4);
+//! // Parallel execution is bit-identical to the serial pipeline.
+//! assert_eq!(report.results[0], run_task(&tasks[0], &options));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod cli;
+pub mod engine;
+pub mod pool;
+pub mod report;
+
+pub use cache::{CacheStats, WorkloadCache};
+pub use engine::{run_suite_parallel, SuiteReport, SuiteRunner};
+pub use pool::{parallel_map, ThreadPool};

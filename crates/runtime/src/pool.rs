@@ -1,0 +1,370 @@
+//! Work-stealing thread pool built on std threads, mutexes, and condvars.
+//!
+//! Each worker owns a local deque. Jobs spawned from *inside* a worker (the
+//! common case for DAG successors: a build job spawning its simulation
+//! units) push onto that worker's local queue and are popped LIFO, which
+//! keeps a task's workload hot in cache. Jobs spawned from outside land in a
+//! shared injector queue. An idle worker pops its own queue first, then the
+//! injector, then steals FIFO from its siblings — classic work stealing,
+//! with no dependency beyond `std`.
+//!
+//! The pool itself is completion-agnostic: callers track completion through
+//! channels (see [`parallel_map`] and the suite engine), which keeps the
+//! scheduler small and obviously correct.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One local deque per worker.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Overflow/external queue.
+    injector: Mutex<VecDeque<Job>>,
+    /// Number of jobs currently sitting in any queue.
+    queued: AtomicUsize,
+    /// Set when the pool is shutting down.
+    shutdown: AtomicBool,
+    /// Sleep/wake coordination for idle workers.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+std::thread_local! {
+    /// `(shared as *const _ as usize, worker index)` of the pool the current
+    /// thread belongs to, if it is a pool worker. Used to route spawns from
+    /// inside a worker onto that worker's local queue.
+    static CURRENT_WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl Shared {
+    fn identity(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    fn push(self: &Arc<Self>, job: Job) {
+        let local = CURRENT_WORKER.with(|c| match c.get() {
+            Some((pool, index)) if pool == self.identity() => Some(index),
+            _ => None,
+        });
+        match local {
+            Some(index) => self.locals[index]
+                .lock()
+                .expect("queue lock poisoned")
+                .push_back(job),
+            None => self
+                .injector
+                .lock()
+                .expect("injector lock poisoned")
+                .push_back(job),
+        }
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        // Notify under the sleep lock so a worker that just checked `queued`
+        // and is about to wait cannot miss this wake-up.
+        let _guard = self.sleep.lock().expect("sleep lock poisoned");
+        self.wake.notify_one();
+    }
+
+    fn pop(&self, index: usize) -> Option<Job> {
+        // Own queue first (LIFO for locality)...
+        if let Some(job) = self.locals[index]
+            .lock()
+            .expect("queue lock poisoned")
+            .pop_back()
+        {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        // ...then the injector (FIFO)...
+        if let Some(job) = self
+            .injector
+            .lock()
+            .expect("injector lock poisoned")
+            .pop_front()
+        {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        // ...then steal from siblings (FIFO: take their oldest work).
+        let n = self.locals.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) = self.locals[victim]
+                .lock()
+                .expect("queue lock poisoned")
+                .pop_front()
+            {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((shared.identity(), index))));
+    loop {
+        if let Some(job) = shared.pop(index) {
+            // Contain panics to the job: the closure (and the result-channel
+            // senders it holds) is dropped, so collectors observe a missing
+            // result and fail with a clear message instead of hanging on a
+            // dead worker, and the worker stays available.
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("leopard-worker-{index}: job panicked: {message}");
+            }
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = shared.sleep.lock().expect("sleep lock poisoned");
+        if shared.queued.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+            // The timeout is a belt-and-suspenders fallback; the push path
+            // notifies under the same lock, so wake-ups are not lost.
+            drop(self::wait(&shared.wake, guard));
+        }
+    }
+}
+
+fn wait<'a>(cv: &Condvar, guard: std::sync::MutexGuard<'a, ()>) -> std::sync::MutexGuard<'a, ()> {
+    cv.wait_timeout(guard, Duration::from_millis(50))
+        .expect("sleep lock poisoned")
+        .0
+}
+
+/// Handle for spawning jobs onto a [`ThreadPool`], cloneable into jobs so
+/// running jobs can spawn successors (the DAG edges of the suite engine).
+#[derive(Clone)]
+pub struct Spawner {
+    shared: Arc<Shared>,
+}
+
+impl Spawner {
+    /// Enqueues a job. From inside a pool worker this pushes onto the
+    /// worker's local queue; from any other thread, onto the injector.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.shared.push(Box::new(job));
+    }
+}
+
+impl std::fmt::Debug for Spawner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spawner").finish_non_exhaustive()
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("leopard-worker-{index}"))
+                    .spawn(move || worker_loop(shared, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Returns a cloneable spawning handle.
+    pub fn spawner(&self) -> Spawner {
+        Spawner {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Enqueues a job.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.shared.push(Box::new(job));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleep.lock().expect("sleep lock poisoned");
+            self.shared.wake.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on the pool, preserving input order in the output.
+///
+/// `f` receives `(index, &item)`. Blocks until every item is processed.
+/// Item results arrive in completion order internally but are re-sorted, so
+/// the output is deterministic regardless of scheduling.
+pub fn parallel_map<T, R, F>(pool: &ThreadPool, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    let n = items.len();
+    let items = Arc::new(items);
+    let f = Arc::new(f);
+    let (tx, rx) = mpsc::channel();
+    for index in 0..n {
+        let items = Arc::clone(&items);
+        let f = Arc::clone(&f);
+        let tx = tx.clone();
+        pool.spawn(move || {
+            let result = f(index, &items[index]);
+            // The receiver only hangs up early on panic; nothing to do here.
+            let _ = tx.send((index, result));
+        });
+    }
+    drop(tx);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (index, result) in rx {
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker completed every item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..1000 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 1000);
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn jobs_can_spawn_jobs() {
+        // A two-level DAG: each parent spawns 4 children from inside the
+        // pool (exercising the local-queue path).
+        let pool = ThreadPool::new(3);
+        let spawner = pool.spawner();
+        let (tx, rx) = mpsc::channel();
+        for parent in 0..16u64 {
+            let spawner = spawner.clone();
+            let tx = tx.clone();
+            pool.spawn(move || {
+                for child in 0..4u64 {
+                    let tx = tx.clone();
+                    spawner.spawn(move || {
+                        tx.send(parent * 4 + child).unwrap();
+                    });
+                }
+            });
+        }
+        drop(tx);
+        let mut seen: Vec<u64> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let out = parallel_map(&pool, (0..100i64).collect(), |i, &x| {
+            assert_eq!(i as i64, x);
+            x * x
+        });
+        assert_eq!(out, (0..100i64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let out = parallel_map(&pool, vec![1, 2, 3], |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker_or_hang_the_pool() {
+        let pool = ThreadPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(|| panic!("job goes boom"));
+        // The sole worker must survive the panic and run the next job.
+        pool.spawn(move || tx.send(42u8).unwrap());
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5))
+                .expect("worker survived"),
+            42
+        );
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_idle_workers() {
+        let pool = ThreadPool::new(8);
+        std::thread::sleep(Duration::from_millis(5));
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,250 @@
+//! Structured JSON/CSV rendering of suite reports.
+//!
+//! The workspace's serde is an offline no-op stub (see `crates/serde`), so
+//! report serialization is rendered directly: a small JSON writer with
+//! correct string escaping and a flat CSV table. Output field order is
+//! fixed, so reports diff cleanly across runs.
+
+use crate::engine::SuiteReport;
+use leopard_workloads::pipeline::{summarize, TaskResult};
+use std::fmt::Write as _;
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+fn task_json(r: &TaskResult, indent: &str) -> String {
+    let cumulative: Vec<String> = r
+        .cumulative_pruning_by_bits
+        .iter()
+        .map(|&v| json_f64(v))
+        .collect();
+    format!(
+        "{indent}{{\"name\": \"{}\", \"sim_seq_len\": {}, \"measured_pruning_rate\": {}, \
+         \"paper_pruning_rate\": {}, \"mean_bits\": {}, \"ae_speedup\": {}, \"hp_speedup\": {}, \
+         \"ae_energy_reduction\": {}, \"hp_energy_reduction\": {}, \
+         \"cumulative_pruning_by_bits\": [{}]}}",
+        escape_json(&r.name),
+        r.sim_seq_len,
+        json_f64(r.measured_pruning_rate),
+        json_f64(r.paper_pruning_rate as f64),
+        json_f64(r.mean_bits),
+        json_f64(r.ae_speedup),
+        json_f64(r.hp_speedup),
+        json_f64(r.ae_energy_reduction),
+        json_f64(r.hp_energy_reduction),
+        cumulative.join(", "),
+    )
+}
+
+/// Renders a full suite report as pretty-printed JSON: summary, timing,
+/// cache statistics, and one entry per task.
+pub fn suite_report_json(report: &SuiteReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(out, "  \"jobs\": {},", report.jobs);
+    let _ = writeln!(
+        out,
+        "  \"wall_seconds\": {},",
+        json_f64(report.wall.as_secs_f64())
+    );
+    let _ = writeln!(
+        out,
+        "  \"stage_seconds\": {{\"build\": {}, \"simulate\": {}, \"aggregate\": {}}},",
+        json_f64(report.stages.build.as_secs_f64()),
+        json_f64(report.stages.simulate.as_secs_f64()),
+        json_f64(report.stages.aggregate.as_secs_f64()),
+    );
+    let _ = writeln!(
+        out,
+        "  \"workload_cache\": {{\"hits\": {}, \"misses\": {}}},",
+        report.cache.hits, report.cache.misses
+    );
+    if report.results.is_empty() {
+        out.push_str("  \"summary\": null,\n");
+    } else {
+        let s = summarize(&report.results);
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"ae_speedup_gmean\": {}, \"hp_speedup_gmean\": {}, \
+             \"ae_energy_gmean\": {}, \"hp_energy_gmean\": {}, \"mean_pruning_rate\": {}}},",
+            json_f64(s.ae_speedup_gmean),
+            json_f64(s.hp_speedup_gmean),
+            json_f64(s.ae_energy_gmean),
+            json_f64(s.hp_energy_gmean),
+            json_f64(s.mean_pruning_rate),
+        );
+    }
+    out.push_str("  \"tasks\": [\n");
+    let rows: Vec<String> = report
+        .results
+        .iter()
+        .map(|r| task_json(r, "    "))
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the standard per-task console table (header + one row per task),
+/// shared by `leopard suite` and the suite_sweep example.
+pub fn suite_table(results: &[TaskResult]) -> String {
+    let mut out = format!(
+        "{:<24} {:>8} {:>8} {:>9} {:>9} {:>10}\n",
+        "task", "prune%", "bits", "AE spdup", "HP spdup", "AE energy"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>7.1}% {:>8.2} {:>8.2}x {:>8.2}x {:>9.2}x",
+            r.name,
+            r.measured_pruning_rate * 100.0,
+            r.mean_bits,
+            r.ae_speedup,
+            r.hp_speedup,
+            r.ae_energy_reduction
+        );
+    }
+    out
+}
+
+/// Renders the one-line suite summary with the paper's reference GMeans,
+/// shared by `leopard suite` and the suite_sweep example.
+///
+/// # Panics
+///
+/// Panics if `results` is empty.
+pub fn summary_line(results: &[TaskResult]) -> String {
+    let s = summarize(results);
+    format!(
+        "overall GMean: AE {:.2}x / HP {:.2}x speedup, AE {:.2}x / HP {:.2}x energy \
+         (paper: 1.9 / 2.4 / 3.9 / 4.0)",
+        s.ae_speedup_gmean, s.hp_speedup_gmean, s.ae_energy_gmean, s.hp_energy_gmean
+    )
+}
+
+/// Renders per-task results as CSV (header + one row per task).
+pub fn task_results_csv(results: &[TaskResult]) -> String {
+    let mut out = String::from(
+        "name,sim_seq_len,measured_pruning_rate,paper_pruning_rate,mean_bits,\
+         ae_speedup,hp_speedup,ae_energy_reduction,hp_energy_reduction\n",
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "\"{}\",{},{},{},{},{},{},{},{}",
+            r.name.replace('"', "\"\""),
+            r.sim_seq_len,
+            r.measured_pruning_rate,
+            r.paper_pruning_rate,
+            r.mean_bits,
+            r.ae_speedup,
+            r.hp_speedup,
+            r.ae_energy_reduction,
+            r.hp_energy_reduction,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_suite_parallel;
+    use leopard_workloads::pipeline::PipelineOptions;
+    use leopard_workloads::suite::full_suite;
+
+    fn small_report() -> SuiteReport {
+        let tasks: Vec<_> = full_suite().into_iter().take(2).collect();
+        let options = PipelineOptions {
+            max_sim_seq_len: 24,
+            ..PipelineOptions::default()
+        };
+        run_suite_parallel(&tasks, &options, 2)
+    }
+
+    #[test]
+    fn json_report_contains_all_sections_and_tasks() {
+        let report = small_report();
+        let json = suite_report_json(&report);
+        for key in [
+            "\"threads\"",
+            "\"wall_seconds\"",
+            "\"stage_seconds\"",
+            "\"workload_cache\"",
+            "\"summary\"",
+            "\"tasks\"",
+            "MemN2N Task-1",
+            "MemN2N Task-2",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_task() {
+        let report = small_report();
+        let csv = task_results_csv(&report.results);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 1 + report.results.len());
+        assert!(lines[0].starts_with("name,sim_seq_len"));
+        assert!(lines[1].starts_with("\"MemN2N Task-1\","));
+    }
+
+    #[test]
+    fn console_table_and_summary_render() {
+        let report = small_report();
+        let table = suite_table(&report.results);
+        assert_eq!(table.trim_end().lines().count(), 1 + report.results.len());
+        assert!(table.contains("MemN2N Task-1"));
+        let line = summary_line(&report.results);
+        assert!(line.starts_with("overall GMean"));
+        assert!(line.contains("paper: 1.9"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let report = run_suite_parallel(&[], &PipelineOptions::default(), 1);
+        let json = suite_report_json(&report);
+        assert!(json.contains("\"summary\": null"));
+        assert!(json.contains("\"tasks\": [\n  ]"));
+    }
+}

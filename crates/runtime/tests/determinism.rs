@@ -1,0 +1,111 @@
+//! Integration tests for the parallel suite-execution engine's headline
+//! guarantee: results are bit-identical to the serial pipeline, for every
+//! thread count, across repeated runs.
+
+use leopard_runtime::engine::{run_suite_parallel, SuiteRunner};
+use leopard_runtime::report::{suite_report_json, task_results_csv};
+use leopard_workloads::pipeline::{run_task, PipelineOptions, TaskResult};
+use leopard_workloads::suite::{full_suite, TaskDescriptor};
+
+/// A reduced but representative suite: every 6th task, which covers MemN2N,
+/// both BERT sizes, GLUE and SQuAD sequence lengths, and keeps the test
+/// fast.
+fn reduced_suite() -> Vec<TaskDescriptor> {
+    full_suite()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 6 == 0)
+        .map(|(_, t)| t)
+        .collect()
+}
+
+fn reduced_options() -> PipelineOptions {
+    PipelineOptions {
+        max_sim_seq_len: 32,
+        heads: 2,
+        ..PipelineOptions::default()
+    }
+}
+
+#[test]
+fn parallel_results_equal_serial_pipeline() {
+    let tasks = reduced_suite();
+    let options = reduced_options();
+    let serial: Vec<TaskResult> = tasks.iter().map(|t| run_task(t, &options)).collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        let report = run_suite_parallel(&tasks, &options, threads);
+        assert_eq!(
+            report.results, serial,
+            "{threads}-thread engine results diverged from the serial pipeline"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    let tasks = reduced_suite();
+    let options = reduced_options();
+    let first = run_suite_parallel(&tasks, &options, 4);
+    let second = run_suite_parallel(&tasks, &options, 4);
+    assert_eq!(first.results, second.results);
+
+    // The rendered reports are byte-identical too, except for timing — CSV
+    // carries no timing, so compare it wholesale.
+    assert_eq!(
+        task_results_csv(&first.results),
+        task_results_csv(&second.results)
+    );
+}
+
+#[test]
+fn results_arrive_in_suite_order_regardless_of_completion_order() {
+    // Tasks late in the suite (BERT/GPT-2, seq 512+) take far longer than
+    // the bAbI tasks, so completion order differs from submission order;
+    // the report must still be in input order.
+    let tasks = reduced_suite();
+    let report = run_suite_parallel(&tasks, &reduced_options(), 4);
+    let names: Vec<&str> = report.results.iter().map(|r| r.name.as_str()).collect();
+    let expected: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(names, expected);
+}
+
+#[test]
+fn engine_accounts_for_every_job() {
+    let tasks = reduced_suite();
+    let options = reduced_options();
+    let report = run_suite_parallel(&tasks, &options, 4);
+    // Per task: heads builds + heads*4 sims + 1 aggregate.
+    let heads = options.heads;
+    let expected = tasks.len() * (heads + heads * 4 + 1);
+    assert_eq!(report.jobs, expected);
+    assert_eq!(report.cache.misses as usize, tasks.len() * heads);
+}
+
+#[test]
+fn json_report_is_stable_modulo_timing() {
+    let tasks: Vec<TaskDescriptor> = reduced_suite().into_iter().take(3).collect();
+    let options = reduced_options();
+    let a = suite_report_json(&run_suite_parallel(&tasks, &options, 2));
+    let b = suite_report_json(&run_suite_parallel(&tasks, &options, 2));
+    let strip = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| !l.contains("seconds"))
+            .map(|l| l.to_string())
+            .collect()
+    };
+    assert_eq!(strip(&a), strip(&b));
+}
+
+#[test]
+fn shared_runner_cache_does_not_change_results() {
+    // Reusing a warm cache (second run hits every workload) must not change
+    // anything about the results.
+    let tasks = reduced_suite();
+    let options = reduced_options();
+    let runner = SuiteRunner::new(2);
+    let cold = runner.run(&tasks, &options);
+    let warm = runner.run(&tasks, &options);
+    assert_eq!(cold.results, warm.results);
+    assert!(warm.cache.hits >= tasks.len() as u64 * 2);
+}

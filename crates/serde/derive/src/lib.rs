@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stand-in. Expanding to an empty token stream keeps every
+//! `#[derive(Serialize, Deserialize)]` in the workspace compiling without
+//! pulling in syn/quote (unavailable offline).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

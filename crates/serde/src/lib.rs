@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace is built in environments without crates.io access, and the
+//! codebase only uses serde's *derive* surface (`#[derive(Serialize,
+//! Deserialize)]` as forward-looking annotations — nothing actually
+//! serializes through serde yet; structured output is hand-rendered by
+//! `leopard-runtime::report`). This crate provides just enough for those
+//! derives to compile: two marker traits and no-op derive macros of the same
+//! names. Swapping in the real serde later is a one-line change in each
+//! `Cargo.toml`.
+
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive does not
+/// generate an implementation; nothing in the workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

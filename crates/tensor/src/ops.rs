@@ -328,7 +328,12 @@ mod tests {
         let beta = Matrix::zeros(1, 4);
         let y = layer_norm_rows(&x, &gamma, &beta, 1e-5);
         let mean = y.row(0).iter().sum::<f32>() / 4.0;
-        let var = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var = y
+            .row(0)
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }
@@ -345,6 +350,9 @@ mod tests {
     #[test]
     fn clamp_bounds_values() {
         let m = Matrix::from_rows(&[vec![-5.0, 0.5, 5.0]]);
-        assert_eq!(clamp(&m, -1.0, 1.0), Matrix::from_rows(&[vec![-1.0, 0.5, 1.0]]));
+        assert_eq!(
+            clamp(&m, -1.0, 1.0),
+            Matrix::from_rows(&[vec![-1.0, 0.5, 1.0]])
+        );
     }
 }

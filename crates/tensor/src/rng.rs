@@ -30,7 +30,9 @@ pub fn uniform_matrix(rng: &mut StdRng, rows: usize, cols: usize, lo: f32, hi: f
 /// Samples a matrix with i.i.d. `Normal(mean, std)` entries using the
 /// Box–Muller transform (avoids a dependency on `rand_distr`).
 pub fn normal_matrix(rng: &mut StdRng, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
-    let data = (0..rows * cols).map(|_| mean + std * standard_normal(rng)).collect();
+    let data = (0..rows * cols)
+        .map(|_| mean + std * standard_normal(rng))
+        .collect();
     Matrix::from_vec(rows, cols, data).expect("shape is consistent by construction")
 }
 
@@ -106,10 +108,12 @@ mod tests {
 
     #[test]
     fn xavier_bound_shrinks_with_fan() {
-        let small = xavier_uniform(&mut seeded(3), 4, 4, );
+        let small = xavier_uniform(&mut seeded(3), 4, 4);
         let large = xavier_uniform(&mut seeded(3), 1024, 1024);
-        assert!(small.iter().map(|v| v.abs()).fold(0.0, f32::max)
-            > large.iter().map(|v| v.abs()).fold(0.0, f32::max));
+        assert!(
+            small.iter().map(|v| v.abs()).fold(0.0, f32::max)
+                > large.iter().map(|v| v.abs()).fold(0.0, f32::max)
+        );
     }
 
     #[test]

@@ -164,7 +164,7 @@ impl ModelConfig {
     /// per layer, as in the paper) but widths and sequence length are shrunk.
     pub fn train_scale(family: ModelFamily) -> Self {
         let paper = Self::paper_scale(family);
-        let layers = paper.layers.min(4).max(2);
+        let layers = paper.layers.clamp(2, 4);
         let heads = paper.heads.min(2);
         let head_dim = 16;
         let model_dim = heads * head_dim;

@@ -158,8 +158,7 @@ impl TaskGenerator {
         let positions = rng::permutation(r, s);
         for &pos in positions.iter().take(self.spec.signal_tokens) {
             for c in 0..d {
-                input[(pos, c)] +=
-                    self.spec.signal_strength * self.class_directions[(label, c)];
+                input[(pos, c)] += self.spec.signal_strength * self.class_directions[(label, c)];
             }
         }
         Sample { input, label }
@@ -282,7 +281,7 @@ mod tests {
         let mut correct = 0;
         for (x, label) in eval.iter() {
             // Mean-pool and pick the class with highest dot product.
-            let mut pooled = vec![0.0f32; 16];
+            let mut pooled = [0.0f32; 16];
             for r in 0..x.rows() {
                 for c in 0..x.cols() {
                     pooled[c] += x[(r, c)] / x.rows() as f32;

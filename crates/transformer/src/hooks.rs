@@ -84,7 +84,7 @@ mod tests {
             let mut m = Matrix::zeros(1, 1);
             h.on_scores(&mut m, 0, 0);
         }
-        takes_train_hook(&IdentityHook);
-        takes_infer_hook(&IdentityHook);
+        takes_train_hook(IdentityHook);
+        takes_infer_hook(IdentityHook);
     }
 }

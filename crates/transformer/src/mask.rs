@@ -70,7 +70,11 @@ impl<H: InferenceScoreHook> InferenceScoreHook for CausalHook<H> {
         // Collect the causally visible scores, let the inner hook transform
         // them, then write them back and mask the invisible region.
         let s = scores.rows();
-        assert_eq!(s, scores.cols(), "causal masking requires a square score matrix");
+        assert_eq!(
+            s,
+            scores.cols(),
+            "causal masking requires a square score matrix"
+        );
         for r in 0..s {
             let visible = r + 1;
             let mut row = Matrix::from_vec(1, visible, scores.row(r)[..visible].to_vec())

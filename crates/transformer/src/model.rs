@@ -353,7 +353,10 @@ impl TransformerClassifier {
 
     /// Total number of scalar parameters.
     pub fn param_count(&self) -> usize {
-        self.layers.iter().map(EncoderLayer::param_count).sum::<usize>()
+        self.layers
+            .iter()
+            .map(EncoderLayer::param_count)
+            .sum::<usize>()
             + self.classifier.param_count()
     }
 
@@ -548,8 +551,7 @@ mod tests {
                 let (logits, param_nodes) = model.forward_train(&tape, x, &IdentityHook);
                 let loss = tape.cross_entropy(logits, &[*label]);
                 tape.backward(loss);
-                let sample_grads: Vec<Matrix> =
-                    param_nodes.iter().map(|&p| tape.grad(p)).collect();
+                let sample_grads: Vec<Matrix> = param_nodes.iter().map(|&p| tape.grad(p)).collect();
                 grads = Some(match grads {
                     None => sample_grads,
                     Some(mut acc) => {

@@ -11,9 +11,9 @@
 //! Figures 8–11 and the per-task rows of Figures 9 and 10.
 
 use crate::suite::TaskDescriptor;
-use leopard_accel::baseline::compare_to_baseline;
+use leopard_accel::baseline::BaselineComparison;
 use leopard_accel::config::TileConfig;
-use leopard_accel::energy::{EnergyBreakdown, EnergyModel};
+use leopard_accel::energy::{energy_from_events, EnergyBreakdown, EnergyModel};
 use leopard_accel::sim::{simulate_head, HeadSimResult, HeadWorkload};
 use leopard_tensor::{rng, stats, Matrix};
 use serde::{Deserialize, Serialize};
@@ -115,11 +115,161 @@ pub fn threshold_for_rate(q: &Matrix, k: &Matrix, target_rate: f32) -> f32 {
     stats::percentile(scores.as_slice(), (target_rate * 100.0).clamp(0.0, 100.0))
 }
 
-/// Runs the full pipeline for one task.
-pub fn run_task(task: &TaskDescriptor, options: &PipelineOptions) -> TaskResult {
+/// The tile configurations every (task, head) pair is simulated on.
+///
+/// A suite run decomposes into `tasks x heads x SimUnitKind::ALL` independent
+/// simulation units — the job granularity of the parallel engine in
+/// `leopard-runtime`. [`run_task`] executes the same units inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimUnitKind {
+    /// Unpruned full-precision baseline (the denominator of every ratio).
+    Baseline,
+    /// AE-LeOPArd: iso-area, 6 QK-DPUs.
+    AeLeopard,
+    /// HP-LeOPArd: high-performance, 8 QK-DPUs (+15% area).
+    HpLeopard,
+    /// Pruning without bit-serial early termination (Figure 11 middle bar).
+    PruningOnly,
+}
+
+impl SimUnitKind {
+    /// All unit kinds, in the order [`HeadUnitResults`] stores them.
+    pub const ALL: [SimUnitKind; 4] = [
+        SimUnitKind::Baseline,
+        SimUnitKind::AeLeopard,
+        SimUnitKind::HpLeopard,
+        SimUnitKind::PruningOnly,
+    ];
+
+    /// The tile configuration this unit simulates.
+    pub fn tile_config(&self) -> TileConfig {
+        match self {
+            SimUnitKind::Baseline => TileConfig::baseline(),
+            SimUnitKind::AeLeopard => TileConfig::ae_leopard(),
+            SimUnitKind::HpLeopard => TileConfig::hp_leopard(),
+            SimUnitKind::PruningOnly => TileConfig::pruning_only(),
+        }
+    }
+
+    /// Stable index into [`HeadUnitResults`]-style arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            SimUnitKind::Baseline => 0,
+            SimUnitKind::AeLeopard => 1,
+            SimUnitKind::HpLeopard => 2,
+            SimUnitKind::PruningOnly => 3,
+        }
+    }
+}
+
+/// Sequence length actually simulated for a task under the given options.
+pub fn sim_seq_len(task: &TaskDescriptor, options: &PipelineOptions) -> usize {
+    task.model_config()
+        .seq_len
+        .min(options.max_sim_seq_len)
+        .max(8)
+}
+
+/// Deterministic seed for one head of one task. Workload construction is
+/// memoizable on `(task.seed(), head)` — equivalently `(task, seed,
+/// seq_len)` since the sequence length is a pure function of task + options.
+pub fn head_seed(task: &TaskDescriptor, head: usize) -> u64 {
+    task.seed().wrapping_add(head as u64 * 7919)
+}
+
+/// Builds the quantized simulator workload for one head of one task:
+/// synthesize correlated Q/K, place the threshold at the paper's
+/// pruning-rate quantile, quantize. This is the (memoizable) construction
+/// stage of the pipeline; it is a pure function of `(task, options, head)`.
+pub fn build_head_workload(
+    task: &TaskDescriptor,
+    options: &PipelineOptions,
+    head: usize,
+) -> HeadWorkload {
     let config = task.model_config();
-    let sim_seq_len = config.seq_len.min(options.max_sim_seq_len).max(8);
+    let s = sim_seq_len(task, options);
+    let (q, k) = synthesize_qk(
+        s,
+        config.head_dim,
+        options.qk_correlation,
+        head_seed(task, head),
+    );
+    let threshold = threshold_for_rate(&q, &k, task.paper_pruning_rate);
+    HeadWorkload::from_float(&q, &k, threshold, options.qk_bits)
+}
+
+/// Runs one simulation unit: one head workload on one tile configuration.
+pub fn simulate_unit(workload: &HeadWorkload, kind: SimUnitKind) -> HeadSimResult {
+    simulate_head(workload, &kind.tile_config())
+}
+
+/// The four per-configuration simulation results for one head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadUnitResults {
+    /// Baseline configuration result.
+    pub baseline: HeadSimResult,
+    /// AE-LeOPArd result.
+    pub ae: HeadSimResult,
+    /// HP-LeOPArd result.
+    pub hp: HeadSimResult,
+    /// Pruning-only (no early termination) result.
+    pub pruning_only: HeadSimResult,
+}
+
+impl HeadUnitResults {
+    /// Runs all four units serially for one head.
+    pub fn compute(workload: &HeadWorkload) -> Self {
+        Self {
+            baseline: simulate_unit(workload, SimUnitKind::Baseline),
+            ae: simulate_unit(workload, SimUnitKind::AeLeopard),
+            hp: simulate_unit(workload, SimUnitKind::HpLeopard),
+            pruning_only: simulate_unit(workload, SimUnitKind::PruningOnly),
+        }
+    }
+
+    /// Assembles the struct from results keyed by [`SimUnitKind::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` does not hold exactly one result per kind.
+    pub fn from_indexed(mut units: Vec<Option<HeadSimResult>>) -> Self {
+        assert_eq!(
+            units.len(),
+            SimUnitKind::ALL.len(),
+            "one result per unit kind"
+        );
+        let mut take = |kind: SimUnitKind| {
+            units[kind.index()]
+                .take()
+                .unwrap_or_else(|| panic!("missing result for {kind:?}"))
+        };
+        Self {
+            baseline: take(SimUnitKind::Baseline),
+            ae: take(SimUnitKind::AeLeopard),
+            hp: take(SimUnitKind::HpLeopard),
+            pruning_only: take(SimUnitKind::PruningOnly),
+        }
+    }
+}
+
+/// Aggregates per-head unit results into the task-level [`TaskResult`].
+///
+/// Heads must be in ascending head order; floating-point accumulation
+/// follows that order, so serial and parallel executions of the same units
+/// produce bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `heads` is empty.
+pub fn aggregate_task(
+    task: &TaskDescriptor,
+    options: &PipelineOptions,
+    heads: &[HeadUnitResults],
+) -> TaskResult {
+    assert!(!heads.is_empty(), "at least one head result required");
     let model = EnergyModel::calibrated();
+    let baseline_cfg = TileConfig::baseline();
+    let prune_only_cfg = TileConfig::pruning_only();
 
     let mut ae_speedups = Vec::new();
     let mut hp_speedups = Vec::new();
@@ -131,19 +281,22 @@ pub fn run_task(task: &TaskDescriptor, options: &PipelineOptions) -> TaskResult 
     let mut prune_bd = EnergyBreakdown::default();
     let mut full_bd = EnergyBreakdown::default();
     let mut cumulative = vec![0.0f64; 12];
-    let mut ae_result_for_bits: Option<HeadSimResult> = None;
 
-    for head in 0..options.heads.max(1) {
-        let seed = task.seed().wrapping_add(head as u64 * 7919);
-        let (q, k) = synthesize_qk(sim_seq_len, config.head_dim, options.qk_correlation, seed);
-        let threshold = threshold_for_rate(&q, &k, task.paper_pruning_rate);
-        let workload = HeadWorkload::from_float(&q, &k, threshold, options.qk_bits);
-
-        let ae = compare_to_baseline(&workload, &TileConfig::ae_leopard(), &model);
-        let hp = compare_to_baseline(&workload, &TileConfig::hp_leopard(), &model);
-        let prune_only_cfg = TileConfig::pruning_only();
-        let prune_only = simulate_head(&workload, &prune_only_cfg);
-        let ae_sim = simulate_head(&workload, &TileConfig::ae_leopard());
+    for unit in heads {
+        let ae = BaselineComparison::from_results(
+            &baseline_cfg,
+            &unit.baseline,
+            &TileConfig::ae_leopard(),
+            &unit.ae,
+            &model,
+        );
+        let hp = BaselineComparison::from_results(
+            &baseline_cfg,
+            &unit.baseline,
+            &TileConfig::hp_leopard(),
+            &unit.hp,
+            &model,
+        );
 
         ae_speedups.push(ae.speedup());
         hp_speedups.push(hp.speedup());
@@ -156,27 +309,22 @@ pub fn run_task(task: &TaskDescriptor, options: &PipelineOptions) -> TaskResult 
         full_bd = add_breakdowns(&full_bd, &ae.config_energy);
         prune_bd = add_breakdowns(
             &prune_bd,
-            &leopard_accel::energy::energy_from_events(
-                &prune_only.events,
-                &prune_only_cfg,
-                &model,
-            ),
+            &energy_from_events(&unit.pruning_only.events, &prune_only_cfg, &model),
         );
 
-        for bits in 0..cumulative.len() {
-            cumulative[bits] += ae_sim.cumulative_pruning_by_bits(bits);
+        for (bits, slot) in cumulative.iter_mut().enumerate() {
+            *slot += unit.ae.cumulative_pruning_by_bits(bits);
         }
-        ae_result_for_bits.get_or_insert(ae_sim);
     }
 
-    let n = options.heads.max(1) as f64;
+    let n = heads.len() as f64;
     for c in &mut cumulative {
         *c /= n;
     }
 
     TaskResult {
         name: task.name.clone(),
-        sim_seq_len,
+        sim_seq_len: sim_seq_len(task, options),
         measured_pruning_rate: mean_f64(&pruning_rates),
         paper_pruning_rate: task.paper_pruning_rate,
         mean_bits: mean_f64(&mean_bits),
@@ -189,6 +337,23 @@ pub fn run_task(task: &TaskDescriptor, options: &PipelineOptions) -> TaskResult 
         leopard_breakdown: full_bd.scaled(1.0 / n),
         cumulative_pruning_by_bits: cumulative,
     }
+}
+
+/// Runs the full pipeline for one task, serially.
+///
+/// This is the reference implementation the parallel engine in
+/// `leopard-runtime` is checked against: both execute exactly the same
+/// decomposition — [`build_head_workload`] per head, [`simulate_unit`] per
+/// `(head, SimUnitKind)`, [`aggregate_task`] at the end — so their results
+/// are bit-identical.
+pub fn run_task(task: &TaskDescriptor, options: &PipelineOptions) -> TaskResult {
+    let heads: Vec<HeadUnitResults> = (0..options.heads.max(1))
+        .map(|head| {
+            let workload = build_head_workload(task, options, head);
+            HeadUnitResults::compute(&workload)
+        })
+        .collect();
+    aggregate_task(task, options, &heads)
 }
 
 /// Summary over many task results: geometric means of the speedups and
@@ -289,6 +454,47 @@ mod tests {
     }
 
     #[test]
+    fn decomposed_units_reproduce_run_task_exactly() {
+        // The contract the parallel engine relies on: executing the unit
+        // decomposition in any grouping and aggregating in head order is
+        // bit-identical to run_task.
+        let suite = full_suite();
+        let task = &suite[3];
+        let options = PipelineOptions {
+            heads: 2,
+            ..quick_options()
+        };
+        let direct = run_task(task, &options);
+
+        let mut heads = Vec::new();
+        for head in 0..2 {
+            let workload = build_head_workload(task, &options, head);
+            // Simulate units out of order through the indexed assembly path.
+            let mut slots: Vec<Option<_>> = vec![None; SimUnitKind::ALL.len()];
+            for kind in [
+                SimUnitKind::PruningOnly,
+                SimUnitKind::HpLeopard,
+                SimUnitKind::Baseline,
+                SimUnitKind::AeLeopard,
+            ] {
+                slots[kind.index()] = Some(simulate_unit(&workload, kind));
+            }
+            heads.push(HeadUnitResults::from_indexed(slots));
+        }
+        let decomposed = aggregate_task(task, &options, &heads);
+        assert_eq!(direct, decomposed);
+    }
+
+    #[test]
+    fn head_seeds_are_distinct_per_head() {
+        let suite = full_suite();
+        let a = head_seed(&suite[0], 0);
+        let b = head_seed(&suite[0], 1);
+        assert_ne!(a, b);
+        assert_eq!(a, suite[0].seed());
+    }
+
+    #[test]
     fn memn2n_task_result_is_self_consistent() {
         let suite = full_suite();
         let result = run_task(&suite[0], &quick_options());
@@ -332,7 +538,10 @@ mod tests {
             .map(|&i| run_task(&suite[i], &quick_options()))
             .collect();
         let summary = summarize(&results);
-        let min = results.iter().map(|r| r.ae_speedup).fold(f64::MAX, f64::min);
+        let min = results
+            .iter()
+            .map(|r| r.ae_speedup)
+            .fold(f64::MAX, f64::min);
         let max = results.iter().map(|r| r.ae_speedup).fold(0.0, f64::max);
         assert!(summary.ae_speedup_gmean >= min && summary.ae_speedup_gmean <= max);
         assert!(summary.mean_pruning_rate > 0.0);

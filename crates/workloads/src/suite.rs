@@ -170,6 +170,7 @@ pub fn full_suite() -> Vec<TaskDescriptor> {
     let glue_names = [
         "G-COLA", "G-MRPC", "G-RTE", "G-SST", "G-QNLI", "G-QQP", "G-WNLI", "G-MNLI", "G-STS",
     ];
+    #[allow(clippy::approx_constant)] // 3.14 is the paper's reported energy value
     let bert_b: [(f32, f32, f32, f32, f32, f32, f32); 9] = [
         (82.95, 83.80, 83.68, 1.59, 2.12, 3.17, 3.28),
         (69.88, 84.60, 85.00, 1.37, 1.37, 2.40, 2.31),
@@ -299,6 +300,18 @@ pub fn full_suite() -> Vec<TaskDescriptor> {
     tasks
 }
 
+/// The stratified "quick" subset used by `--quick` flags across the CLI and
+/// harness binaries: every 4th task, which keeps at least one task per model
+/// family.
+pub fn quick_subset(tasks: Vec<TaskDescriptor>) -> Vec<TaskDescriptor> {
+    tasks
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 == 0)
+        .map(|(_, t)| t)
+        .collect()
+}
+
 /// Geometric-mean reference points the paper reports for the whole suite:
 /// `(AE speedup, HP speedup, AE energy, HP energy)` = (1.9, 2.4, 3.9, 4.0).
 pub const PAPER_GMEANS: (f32, f32, f32, f32) = (1.9, 2.4, 3.9, 4.0);
@@ -420,9 +433,23 @@ mod tests {
     }
 
     #[test]
+    fn quick_subset_is_stratified_across_families() {
+        let quick = quick_subset(full_suite());
+        assert_eq!(quick.len(), 11);
+        assert_eq!(quick[0].id, 0);
+        // Every family with >= 4 tasks stays represented.
+        assert!(quick.iter().any(|t| t.family == ModelFamily::MemN2N));
+        assert!(quick.iter().any(|t| t.family == ModelFamily::BertBase));
+        assert!(quick.iter().any(|t| t.family == ModelFamily::BertLarge));
+    }
+
+    #[test]
     fn gpt2_uses_perplexity() {
         let tasks = full_suite();
-        let gpt = tasks.iter().find(|t| t.family == ModelFamily::Gpt2Large).unwrap();
+        let gpt = tasks
+            .iter()
+            .find(|t| t.family == ModelFamily::Gpt2Large)
+            .unwrap();
         assert!(gpt.metric_is_perplexity());
         assert!(!tasks[0].metric_is_perplexity());
     }

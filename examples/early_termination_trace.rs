@@ -17,7 +17,10 @@ use leopard::tensor::rng;
 fn main() {
     // --- Part 1: the paper's Figure 3 example.
     println!("== Figure 3 walkthrough (Q = [9, -5, 7, -2], Th = 5) ==");
-    println!("{:<7} {:>12} {:>10} {:>11}", "cycle", "partial sum", "margin", "terminate?");
+    println!(
+        "{:<7} {:>12} {:>10} {:>11}",
+        "cycle", "partial sum", "margin", "terminate?"
+    );
     for (cycle, (p, m, stop)) in figure3_walkthrough().iter().enumerate() {
         println!(
             "{:<7} {:>12.2} {:>10.2} {:>11}",
@@ -61,6 +64,8 @@ fn main() {
             if outcome.pruned { "yes" } else { "no" }
         );
     }
-    println!("\n(full-precision dot products take {} cycles; early-terminated ones fewer)",
-        config.full_dot_cycles());
+    println!(
+        "\n(full-precision dot products take {} cycles; early-terminated ones fewer)",
+        config.full_dot_cycles()
+    );
 }

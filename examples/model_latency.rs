@@ -55,7 +55,11 @@ fn main() {
     );
     let mut baseline_cycles = 0u64;
     let mut baseline_energy = 0.0f64;
-    for config in [TileConfig::baseline(), TileConfig::ae_leopard(), TileConfig::hp_leopard()] {
+    for config in [
+        TileConfig::baseline(),
+        TileConfig::ae_leopard(),
+        TileConfig::hp_leopard(),
+    ] {
         let schedule = schedule_model(&layer_workloads, &config, &energy_model);
         if config.name == "Baseline" {
             baseline_cycles = schedule.total_cycles();

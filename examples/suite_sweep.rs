@@ -1,42 +1,43 @@
-//! Sweep the 43-task benchmark suite through the accelerator pipeline and
-//! print per-family speedup / energy summaries (the domain scenario behind
-//! Figures 9 and 10).
+//! Sweep the 43-task benchmark suite through the accelerator pipeline on the
+//! parallel suite-execution engine and print per-family speedup / energy
+//! summaries (the domain scenario behind Figures 9 and 10).
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example suite_sweep
+//! cargo run --release --example suite_sweep [-- --threads N]
 //! ```
+//!
+//! Results are bit-identical for every thread count; only the wall-clock
+//! time changes.
 
+use leopard::runtime::report::{suite_table, summary_line};
+use leopard::runtime::SuiteRunner;
 use leopard::transformer::config::ModelFamily;
-use leopard::workloads::pipeline::{run_task, summarize, PipelineOptions, TaskResult};
+use leopard::workloads::pipeline::{summarize, PipelineOptions, TaskResult};
 use leopard::workloads::suite::full_suite;
+use leopard_bench::harness_threads;
 
 fn main() {
+    let threads = harness_threads(); // --threads N or LEOPARD_THREADS; 0 = all cores
     let options = PipelineOptions {
         max_sim_seq_len: 64,
         ..PipelineOptions::default()
     };
     let suite = full_suite();
-    println!("simulating {} tasks (sequence lengths capped at {})...", suite.len(), options.max_sim_seq_len);
-
-    let results: Vec<TaskResult> = suite.iter().map(|t| run_task(t, &options)).collect();
-
+    let runner = SuiteRunner::new(threads);
     println!(
-        "\n{:<24} {:>8} {:>8} {:>9} {:>9} {:>10}",
-        "task", "prune%", "bits", "AE spdup", "HP spdup", "AE energy"
+        "simulating {} tasks on {} threads (sequence lengths capped at {})...",
+        suite.len(),
+        runner.threads(),
+        options.max_sim_seq_len
     );
-    for r in &results {
-        println!(
-            "{:<24} {:>7.1}% {:>8.2} {:>8.2}x {:>8.2}x {:>9.2}x",
-            r.name,
-            r.measured_pruning_rate * 100.0,
-            r.mean_bits,
-            r.ae_speedup,
-            r.hp_speedup,
-            r.ae_energy_reduction
-        );
-    }
+
+    let report = runner.run(&suite, &options);
+    let results = &report.results;
+
+    println!();
+    print!("{}", suite_table(results));
 
     // Per-family geometric means, matching the GMean rows of the paper.
     println!("\n== per-family geometric means ==");
@@ -62,12 +63,16 @@ fn main() {
         );
     }
 
-    let overall = summarize(&results);
+    println!("\n{}", summary_line(results));
     println!(
-        "\noverall GMean: AE {:.2}x / HP {:.2}x speedup, AE {:.2}x / HP {:.2}x energy (paper: 1.9 / 2.4 / 3.9 / 4.0)",
-        overall.ae_speedup_gmean,
-        overall.hp_speedup_gmean,
-        overall.ae_energy_gmean,
-        overall.hp_energy_gmean
+        "\n{} engine jobs on {} threads in {:.3}s wall (build {:.3}s, simulate {:.3}s, aggregate {:.3}s; cache: {} built, {} reused)",
+        report.jobs,
+        report.threads,
+        report.wall.as_secs_f64(),
+        report.stages.build.as_secs_f64(),
+        report.stages.simulate.as_secs_f64(),
+        report.stages.aggregate.as_secs_f64(),
+        report.cache.misses,
+        report.cache.hits
     );
 }

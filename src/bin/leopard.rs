@@ -1,0 +1,30 @@
+//! The `leopard` CLI entry point (built by `cargo build --release` at the
+//! workspace root). All logic lives in `leopard_runtime::cli` so it can be
+//! unit-tested; this binary only forwards the arguments.
+
+/// Restores the default SIGPIPE disposition so `leopard list | head` exits
+/// quietly like other Unix CLI tools instead of panicking on a broken pipe
+/// (Rust installs SIG_IGN before `main`).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+fn main() {
+    reset_sigpipe();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = leopard::runtime::cli::run(&args) {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+}

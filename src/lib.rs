@@ -18,6 +18,7 @@
 //! | [`quant`] | `leopard-quant` | fixed-point quantization, sign-magnitude, bit planes |
 //! | [`accel`] | `leopard-accel` | cycle-level tile simulator, energy/area models, Table 2 |
 //! | [`workloads`] | `leopard-workloads` | the 43-task suite and end-to-end pipeline |
+//! | [`runtime`] | `leopard-runtime` | parallel suite-execution engine, workload cache, `leopard` CLI |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use leopard_accel as accel;
 pub use leopard_autodiff as autodiff;
 pub use leopard_core as pruning;
 pub use leopard_quant as quant;
+pub use leopard_runtime as runtime;
 pub use leopard_tensor as tensor;
 pub use leopard_transformer as transformer;
 pub use leopard_workloads as workloads;

@@ -152,5 +152,8 @@ fn speedup_grows_with_pruning_rate_across_thresholds() {
         last_speedup = cmp.speedup();
         last_energy = cmp.energy_reduction();
     }
-    assert!(last_speedup > 1.5, "high thresholds should give real speedups");
+    assert!(
+        last_speedup > 1.5,
+        "high thresholds should give real speedups"
+    );
 }

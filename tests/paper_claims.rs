@@ -22,7 +22,12 @@ fn representative_tasks_show_the_papers_ordering() {
     let suite = full_suite();
     let options = quick_options();
     // One task per family, covering the extremes of the pruning-rate range.
-    let picks = ["MemN2N Task-1", "BERT-B G-QNLI", "BERT-L SQuAD", "ViT-B CIFAR-10"];
+    let picks = [
+        "MemN2N Task-1",
+        "BERT-B G-QNLI",
+        "BERT-L SQuAD",
+        "ViT-B CIFAR-10",
+    ];
     let results: Vec<_> = suite
         .iter()
         .filter(|t| picks.contains(&t.name.as_str()))
