@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl01_lambda_sweep-60e24e9baf0d3e5f.d: crates/bench/src/bin/abl01_lambda_sweep.rs
+
+/root/repo/target/debug/deps/abl01_lambda_sweep-60e24e9baf0d3e5f: crates/bench/src/bin/abl01_lambda_sweep.rs
+
+crates/bench/src/bin/abl01_lambda_sweep.rs:

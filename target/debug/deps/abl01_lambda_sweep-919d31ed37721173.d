@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl01_lambda_sweep-919d31ed37721173.d: crates/bench/src/bin/abl01_lambda_sweep.rs
+
+/root/repo/target/debug/deps/libabl01_lambda_sweep-919d31ed37721173.rmeta: crates/bench/src/bin/abl01_lambda_sweep.rs
+
+crates/bench/src/bin/abl01_lambda_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl01_lambda_sweep-f83ffcb3aee572df.d: crates/bench/src/bin/abl01_lambda_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl01_lambda_sweep-f83ffcb3aee572df.rmeta: crates/bench/src/bin/abl01_lambda_sweep.rs Cargo.toml
+
+crates/bench/src/bin/abl01_lambda_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl02_sharpness_sweep-1472941dfeb403a9.d: crates/bench/src/bin/abl02_sharpness_sweep.rs
+
+/root/repo/target/debug/deps/abl02_sharpness_sweep-1472941dfeb403a9: crates/bench/src/bin/abl02_sharpness_sweep.rs
+
+crates/bench/src/bin/abl02_sharpness_sweep.rs:

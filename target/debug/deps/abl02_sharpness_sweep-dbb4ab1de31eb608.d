@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl02_sharpness_sweep-dbb4ab1de31eb608.d: crates/bench/src/bin/abl02_sharpness_sweep.rs
+
+/root/repo/target/debug/deps/libabl02_sharpness_sweep-dbb4ab1de31eb608.rmeta: crates/bench/src/bin/abl02_sharpness_sweep.rs
+
+crates/bench/src/bin/abl02_sharpness_sweep.rs:

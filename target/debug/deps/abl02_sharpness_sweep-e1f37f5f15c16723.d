@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl02_sharpness_sweep-e1f37f5f15c16723.d: crates/bench/src/bin/abl02_sharpness_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl02_sharpness_sweep-e1f37f5f15c16723.rmeta: crates/bench/src/bin/abl02_sharpness_sweep.rs Cargo.toml
+
+crates/bench/src/bin/abl02_sharpness_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl03_margin_policy-23b2aa695b394eaa.d: crates/bench/src/bin/abl03_margin_policy.rs
+
+/root/repo/target/debug/deps/libabl03_margin_policy-23b2aa695b394eaa.rmeta: crates/bench/src/bin/abl03_margin_policy.rs
+
+crates/bench/src/bin/abl03_margin_policy.rs:

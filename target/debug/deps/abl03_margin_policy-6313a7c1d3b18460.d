@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl03_margin_policy-6313a7c1d3b18460.d: crates/bench/src/bin/abl03_margin_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl03_margin_policy-6313a7c1d3b18460.rmeta: crates/bench/src/bin/abl03_margin_policy.rs Cargo.toml
+
+crates/bench/src/bin/abl03_margin_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl03_margin_policy-883a25c8c34bb333.d: crates/bench/src/bin/abl03_margin_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl03_margin_policy-883a25c8c34bb333.rmeta: crates/bench/src/bin/abl03_margin_policy.rs Cargo.toml
+
+crates/bench/src/bin/abl03_margin_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl03_margin_policy-88c9c4f04f104c67.d: crates/bench/src/bin/abl03_margin_policy.rs
+
+/root/repo/target/debug/deps/libabl03_margin_policy-88c9c4f04f104c67.rmeta: crates/bench/src/bin/abl03_margin_policy.rs
+
+crates/bench/src/bin/abl03_margin_policy.rs:

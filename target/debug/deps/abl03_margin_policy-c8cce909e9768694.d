@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl03_margin_policy-c8cce909e9768694.d: crates/bench/src/bin/abl03_margin_policy.rs
+
+/root/repo/target/debug/deps/abl03_margin_policy-c8cce909e9768694: crates/bench/src/bin/abl03_margin_policy.rs
+
+crates/bench/src/bin/abl03_margin_policy.rs:

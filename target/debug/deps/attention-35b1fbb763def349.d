@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attention-35b1fbb763def349.d: crates/bench/benches/attention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattention-35b1fbb763def349.rmeta: crates/bench/benches/attention.rs Cargo.toml
+
+crates/bench/benches/attention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

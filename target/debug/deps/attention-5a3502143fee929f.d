@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attention-5a3502143fee929f.d: crates/bench/benches/attention.rs
+
+/root/repo/target/debug/deps/libattention-5a3502143fee929f.rmeta: crates/bench/benches/attention.rs
+
+crates/bench/benches/attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-264e43d2706d89ea.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-264e43d2706d89ea.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-498d508ab96a1d51.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-498d508ab96a1d51.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-18e53450c70c7bcc.d: crates/runtime/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-18e53450c70c7bcc: crates/runtime/tests/determinism.rs
+
+crates/runtime/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-9045cc7db737fbfe.d: crates/runtime/tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-9045cc7db737fbfe.rmeta: crates/runtime/tests/determinism.rs
+
+crates/runtime/tests/determinism.rs:

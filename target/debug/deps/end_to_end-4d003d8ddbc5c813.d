@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4d003d8ddbc5c813.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4d003d8ddbc5c813: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-687a6b8e862406a5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-687a6b8e862406a5.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-82318a8a68b3b7cc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-82318a8a68b3b7cc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c317710e82dbadc6.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c317710e82dbadc6: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_finetune_dynamics-0adbf5a00c3f335f.d: crates/bench/src/bin/fig02_finetune_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_finetune_dynamics-0adbf5a00c3f335f.rmeta: crates/bench/src/bin/fig02_finetune_dynamics.rs Cargo.toml
+
+crates/bench/src/bin/fig02_finetune_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

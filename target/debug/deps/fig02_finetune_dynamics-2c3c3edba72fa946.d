@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_finetune_dynamics-2c3c3edba72fa946.d: crates/bench/src/bin/fig02_finetune_dynamics.rs
+
+/root/repo/target/debug/deps/libfig02_finetune_dynamics-2c3c3edba72fa946.rmeta: crates/bench/src/bin/fig02_finetune_dynamics.rs
+
+crates/bench/src/bin/fig02_finetune_dynamics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_finetune_dynamics-59a2c479c3026eb2.d: crates/bench/src/bin/fig02_finetune_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_finetune_dynamics-59a2c479c3026eb2.rmeta: crates/bench/src/bin/fig02_finetune_dynamics.rs Cargo.toml
+
+crates/bench/src/bin/fig02_finetune_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

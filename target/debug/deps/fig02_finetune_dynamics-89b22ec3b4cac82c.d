@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_finetune_dynamics-89b22ec3b4cac82c.d: crates/bench/src/bin/fig02_finetune_dynamics.rs
+
+/root/repo/target/debug/deps/libfig02_finetune_dynamics-89b22ec3b4cac82c.rmeta: crates/bench/src/bin/fig02_finetune_dynamics.rs
+
+crates/bench/src/bin/fig02_finetune_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_finetune_dynamics-dfa38ca92a9bd05b.d: crates/bench/src/bin/fig02_finetune_dynamics.rs
+
+/root/repo/target/debug/deps/fig02_finetune_dynamics-dfa38ca92a9bd05b: crates/bench/src/bin/fig02_finetune_dynamics.rs
+
+crates/bench/src/bin/fig02_finetune_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_early_termination_example-34c6ee36d5342928.d: crates/bench/src/bin/fig03_early_termination_example.rs
+
+/root/repo/target/debug/deps/fig03_early_termination_example-34c6ee36d5342928: crates/bench/src/bin/fig03_early_termination_example.rs
+
+crates/bench/src/bin/fig03_early_termination_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_early_termination_example-67d20e614cee98cb.d: crates/bench/src/bin/fig03_early_termination_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_early_termination_example-67d20e614cee98cb.rmeta: crates/bench/src/bin/fig03_early_termination_example.rs Cargo.toml
+
+crates/bench/src/bin/fig03_early_termination_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_early_termination_example-8574501c0f7dd12f.d: crates/bench/src/bin/fig03_early_termination_example.rs
+
+/root/repo/target/debug/deps/libfig03_early_termination_example-8574501c0f7dd12f.rmeta: crates/bench/src/bin/fig03_early_termination_example.rs
+
+crates/bench/src/bin/fig03_early_termination_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_accuracy-3df783325e84b361.d: crates/bench/src/bin/fig06_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_accuracy-3df783325e84b361.rmeta: crates/bench/src/bin/fig06_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig06_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_accuracy-53c19ccc82ed7b22.d: crates/bench/src/bin/fig06_accuracy.rs
+
+/root/repo/target/debug/deps/libfig06_accuracy-53c19ccc82ed7b22.rmeta: crates/bench/src/bin/fig06_accuracy.rs
+
+crates/bench/src/bin/fig06_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_accuracy-a24ce5fdb61c7ea4.d: crates/bench/src/bin/fig06_accuracy.rs
+
+/root/repo/target/debug/deps/libfig06_accuracy-a24ce5fdb61c7ea4.rmeta: crates/bench/src/bin/fig06_accuracy.rs
+
+crates/bench/src/bin/fig06_accuracy.rs:

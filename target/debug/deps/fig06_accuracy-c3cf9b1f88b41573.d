@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_accuracy-c3cf9b1f88b41573.d: crates/bench/src/bin/fig06_accuracy.rs
+
+/root/repo/target/debug/deps/fig06_accuracy-c3cf9b1f88b41573: crates/bench/src/bin/fig06_accuracy.rs
+
+crates/bench/src/bin/fig06_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_pruning_rate-310db27eb2af94cc.d: crates/bench/src/bin/fig07_pruning_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_pruning_rate-310db27eb2af94cc.rmeta: crates/bench/src/bin/fig07_pruning_rate.rs Cargo.toml
+
+crates/bench/src/bin/fig07_pruning_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_pruning_rate-ab97d38fa22d59b6.d: crates/bench/src/bin/fig07_pruning_rate.rs
+
+/root/repo/target/debug/deps/libfig07_pruning_rate-ab97d38fa22d59b6.rmeta: crates/bench/src/bin/fig07_pruning_rate.rs
+
+crates/bench/src/bin/fig07_pruning_rate.rs:

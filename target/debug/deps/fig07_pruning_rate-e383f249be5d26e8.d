@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_pruning_rate-e383f249be5d26e8.d: crates/bench/src/bin/fig07_pruning_rate.rs
+
+/root/repo/target/debug/deps/libfig07_pruning_rate-e383f249be5d26e8.rmeta: crates/bench/src/bin/fig07_pruning_rate.rs
+
+crates/bench/src/bin/fig07_pruning_rate.rs:

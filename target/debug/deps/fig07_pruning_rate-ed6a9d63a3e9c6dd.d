@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_pruning_rate-ed6a9d63a3e9c6dd.d: crates/bench/src/bin/fig07_pruning_rate.rs
+
+/root/repo/target/debug/deps/fig07_pruning_rate-ed6a9d63a3e9c6dd: crates/bench/src/bin/fig07_pruning_rate.rs
+
+crates/bench/src/bin/fig07_pruning_rate.rs:

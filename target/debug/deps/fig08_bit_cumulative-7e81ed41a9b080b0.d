@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_bit_cumulative-7e81ed41a9b080b0.d: crates/bench/src/bin/fig08_bit_cumulative.rs
+
+/root/repo/target/debug/deps/libfig08_bit_cumulative-7e81ed41a9b080b0.rmeta: crates/bench/src/bin/fig08_bit_cumulative.rs
+
+crates/bench/src/bin/fig08_bit_cumulative.rs:

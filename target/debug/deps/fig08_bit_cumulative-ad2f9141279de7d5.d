@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_bit_cumulative-ad2f9141279de7d5.d: crates/bench/src/bin/fig08_bit_cumulative.rs
+
+/root/repo/target/debug/deps/libfig08_bit_cumulative-ad2f9141279de7d5.rmeta: crates/bench/src/bin/fig08_bit_cumulative.rs
+
+crates/bench/src/bin/fig08_bit_cumulative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_bit_cumulative-b79b41cbd5417955.d: crates/bench/src/bin/fig08_bit_cumulative.rs
+
+/root/repo/target/debug/deps/fig08_bit_cumulative-b79b41cbd5417955: crates/bench/src/bin/fig08_bit_cumulative.rs
+
+crates/bench/src/bin/fig08_bit_cumulative.rs:

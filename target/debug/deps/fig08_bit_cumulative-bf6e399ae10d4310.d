@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_bit_cumulative-bf6e399ae10d4310.d: crates/bench/src/bin/fig08_bit_cumulative.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_bit_cumulative-bf6e399ae10d4310.rmeta: crates/bench/src/bin/fig08_bit_cumulative.rs Cargo.toml
+
+crates/bench/src/bin/fig08_bit_cumulative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_speedup-6501d6f7b4c60b32.d: crates/bench/src/bin/fig09_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_speedup-6501d6f7b4c60b32.rmeta: crates/bench/src/bin/fig09_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig09_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_speedup-969160472089b583.d: crates/bench/src/bin/fig09_speedup.rs
+
+/root/repo/target/debug/deps/fig09_speedup-969160472089b583: crates/bench/src/bin/fig09_speedup.rs
+
+crates/bench/src/bin/fig09_speedup.rs:

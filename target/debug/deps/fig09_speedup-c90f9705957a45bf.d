@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_speedup-c90f9705957a45bf.d: crates/bench/src/bin/fig09_speedup.rs
+
+/root/repo/target/debug/deps/libfig09_speedup-c90f9705957a45bf.rmeta: crates/bench/src/bin/fig09_speedup.rs
+
+crates/bench/src/bin/fig09_speedup.rs:

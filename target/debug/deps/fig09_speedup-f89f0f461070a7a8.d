@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_speedup-f89f0f461070a7a8.d: crates/bench/src/bin/fig09_speedup.rs
+
+/root/repo/target/debug/deps/libfig09_speedup-f89f0f461070a7a8.rmeta: crates/bench/src/bin/fig09_speedup.rs
+
+crates/bench/src/bin/fig09_speedup.rs:

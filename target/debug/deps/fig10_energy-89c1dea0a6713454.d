@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_energy-89c1dea0a6713454.d: crates/bench/src/bin/fig10_energy.rs
+
+/root/repo/target/debug/deps/libfig10_energy-89c1dea0a6713454.rmeta: crates/bench/src/bin/fig10_energy.rs
+
+crates/bench/src/bin/fig10_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_energy-b6ebe4d7eed0b458.d: crates/bench/src/bin/fig10_energy.rs
+
+/root/repo/target/debug/deps/fig10_energy-b6ebe4d7eed0b458: crates/bench/src/bin/fig10_energy.rs
+
+crates/bench/src/bin/fig10_energy.rs:

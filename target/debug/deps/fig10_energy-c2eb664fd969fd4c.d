@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_energy-c2eb664fd969fd4c.d: crates/bench/src/bin/fig10_energy.rs
+
+/root/repo/target/debug/deps/libfig10_energy-c2eb664fd969fd4c.rmeta: crates/bench/src/bin/fig10_energy.rs
+
+crates/bench/src/bin/fig10_energy.rs:

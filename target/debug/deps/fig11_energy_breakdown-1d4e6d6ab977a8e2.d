@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_energy_breakdown-1d4e6d6ab977a8e2.d: crates/bench/src/bin/fig11_energy_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_energy_breakdown-1d4e6d6ab977a8e2.rmeta: crates/bench/src/bin/fig11_energy_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig11_energy_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy_breakdown-4d26fdc3077cf16f.d: crates/bench/src/bin/fig11_energy_breakdown.rs
+
+/root/repo/target/debug/deps/libfig11_energy_breakdown-4d26fdc3077cf16f.rmeta: crates/bench/src/bin/fig11_energy_breakdown.rs
+
+crates/bench/src/bin/fig11_energy_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy_breakdown-8d226c7f29af0e68.d: crates/bench/src/bin/fig11_energy_breakdown.rs
+
+/root/repo/target/debug/deps/libfig11_energy_breakdown-8d226c7f29af0e68.rmeta: crates/bench/src/bin/fig11_energy_breakdown.rs
+
+crates/bench/src/bin/fig11_energy_breakdown.rs:

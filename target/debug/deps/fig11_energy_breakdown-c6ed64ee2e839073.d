@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy_breakdown-c6ed64ee2e839073.d: crates/bench/src/bin/fig11_energy_breakdown.rs
+
+/root/repo/target/debug/deps/fig11_energy_breakdown-c6ed64ee2e839073: crates/bench/src/bin/fig11_energy_breakdown.rs
+
+crates/bench/src/bin/fig11_energy_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_area_breakdown-0583b06555e8ab90.d: crates/bench/src/bin/fig12_area_breakdown.rs
+
+/root/repo/target/debug/deps/fig12_area_breakdown-0583b06555e8ab90: crates/bench/src/bin/fig12_area_breakdown.rs
+
+crates/bench/src/bin/fig12_area_breakdown.rs:

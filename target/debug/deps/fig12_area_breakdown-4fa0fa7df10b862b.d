@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_area_breakdown-4fa0fa7df10b862b.d: crates/bench/src/bin/fig12_area_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_area_breakdown-4fa0fa7df10b862b.rmeta: crates/bench/src/bin/fig12_area_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig12_area_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_area_breakdown-d4ab06162731e9bd.d: crates/bench/src/bin/fig12_area_breakdown.rs
+
+/root/repo/target/debug/deps/libfig12_area_breakdown-d4ab06162731e9bd.rmeta: crates/bench/src/bin/fig12_area_breakdown.rs
+
+crates/bench/src/bin/fig12_area_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_area_breakdown-ead48eb2422cc3c3.d: crates/bench/src/bin/fig12_area_breakdown.rs
+
+/root/repo/target/debug/deps/libfig12_area_breakdown-ead48eb2422cc3c3.rmeta: crates/bench/src/bin/fig12_area_breakdown.rs
+
+crates/bench/src/bin/fig12_area_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_nqk_sweep-04ae274cc53a41b9.d: crates/bench/src/bin/fig13_nqk_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_nqk_sweep-04ae274cc53a41b9.rmeta: crates/bench/src/bin/fig13_nqk_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig13_nqk_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

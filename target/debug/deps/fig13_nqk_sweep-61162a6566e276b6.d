@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_nqk_sweep-61162a6566e276b6.d: crates/bench/src/bin/fig13_nqk_sweep.rs
+
+/root/repo/target/debug/deps/fig13_nqk_sweep-61162a6566e276b6: crates/bench/src/bin/fig13_nqk_sweep.rs
+
+crates/bench/src/bin/fig13_nqk_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_nqk_sweep-7c0b57522630215c.d: crates/bench/src/bin/fig13_nqk_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_nqk_sweep-7c0b57522630215c.rmeta: crates/bench/src/bin/fig13_nqk_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig13_nqk_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_nqk_sweep-afddf00225ec61ac.d: crates/bench/src/bin/fig13_nqk_sweep.rs
+
+/root/repo/target/debug/deps/libfig13_nqk_sweep-afddf00225ec61ac.rmeta: crates/bench/src/bin/fig13_nqk_sweep.rs
+
+crates/bench/src/bin/fig13_nqk_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_nqk_sweep-ee1ec2a16a1ff52d.d: crates/bench/src/bin/fig13_nqk_sweep.rs
+
+/root/repo/target/debug/deps/libfig13_nqk_sweep-ee1ec2a16a1ff52d.rmeta: crates/bench/src/bin/fig13_nqk_sweep.rs
+
+crates/bench/src/bin/fig13_nqk_sweep.rs:

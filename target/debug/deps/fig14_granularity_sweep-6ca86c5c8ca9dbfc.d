@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_granularity_sweep-6ca86c5c8ca9dbfc.d: crates/bench/src/bin/fig14_granularity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_granularity_sweep-6ca86c5c8ca9dbfc.rmeta: crates/bench/src/bin/fig14_granularity_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig14_granularity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

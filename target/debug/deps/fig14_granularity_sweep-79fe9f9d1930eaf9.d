@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_granularity_sweep-79fe9f9d1930eaf9.d: crates/bench/src/bin/fig14_granularity_sweep.rs
+
+/root/repo/target/debug/deps/libfig14_granularity_sweep-79fe9f9d1930eaf9.rmeta: crates/bench/src/bin/fig14_granularity_sweep.rs
+
+crates/bench/src/bin/fig14_granularity_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_granularity_sweep-dae8ea634abed4b9.d: crates/bench/src/bin/fig14_granularity_sweep.rs
+
+/root/repo/target/debug/deps/libfig14_granularity_sweep-dae8ea634abed4b9.rmeta: crates/bench/src/bin/fig14_granularity_sweep.rs
+
+crates/bench/src/bin/fig14_granularity_sweep.rs:

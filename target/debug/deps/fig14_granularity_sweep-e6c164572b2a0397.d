@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_granularity_sweep-e6c164572b2a0397.d: crates/bench/src/bin/fig14_granularity_sweep.rs
+
+/root/repo/target/debug/deps/fig14_granularity_sweep-e6c164572b2a0397: crates/bench/src/bin/fig14_granularity_sweep.rs
+
+crates/bench/src/bin/fig14_granularity_sweep.rs:

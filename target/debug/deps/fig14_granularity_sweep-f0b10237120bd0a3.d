@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_granularity_sweep-f0b10237120bd0a3.d: crates/bench/src/bin/fig14_granularity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_granularity_sweep-f0b10237120bd0a3.rmeta: crates/bench/src/bin/fig14_granularity_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig14_granularity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

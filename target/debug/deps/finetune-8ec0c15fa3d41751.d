@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/finetune-8ec0c15fa3d41751.d: crates/bench/benches/finetune.rs
+
+/root/repo/target/debug/deps/libfinetune-8ec0c15fa3d41751.rmeta: crates/bench/benches/finetune.rs
+
+crates/bench/benches/finetune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/finetune-e10f1e48d6304a5e.d: crates/bench/benches/finetune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfinetune-e10f1e48d6304a5e.rmeta: crates/bench/benches/finetune.rs Cargo.toml
+
+crates/bench/benches/finetune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

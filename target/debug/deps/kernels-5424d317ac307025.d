@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-5424d317ac307025.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-5424d317ac307025.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

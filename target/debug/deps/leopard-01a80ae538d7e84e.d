@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-01a80ae538d7e84e.d: src/bin/leopard.rs
+
+/root/repo/target/debug/deps/leopard-01a80ae538d7e84e: src/bin/leopard.rs
+
+src/bin/leopard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard-0626e873bfe851de.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard-0626e873bfe851de.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

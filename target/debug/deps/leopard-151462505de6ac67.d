@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard-151462505de6ac67.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard-151462505de6ac67.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-1df07eaea68bad96.d: crates/runtime/src/bin/leopard.rs
+
+/root/repo/target/debug/deps/libleopard-1df07eaea68bad96.rmeta: crates/runtime/src/bin/leopard.rs
+
+crates/runtime/src/bin/leopard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-1e6cdd983352c6c6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libleopard-1e6cdd983352c6c6.rmeta: src/lib.rs
+
+src/lib.rs:

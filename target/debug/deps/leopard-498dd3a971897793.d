@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-498dd3a971897793.d: src/bin/leopard.rs
+
+/root/repo/target/debug/deps/libleopard-498dd3a971897793.rmeta: src/bin/leopard.rs
+
+src/bin/leopard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-66fd91f85666f5c2.d: src/bin/leopard.rs
+
+/root/repo/target/debug/deps/leopard-66fd91f85666f5c2: src/bin/leopard.rs
+
+src/bin/leopard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-6de425fb8ef77a5b.d: src/bin/leopard.rs
+
+/root/repo/target/debug/deps/libleopard-6de425fb8ef77a5b.rmeta: src/bin/leopard.rs
+
+src/bin/leopard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard-82ffbf707740e4ec.d: src/bin/leopard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard-82ffbf707740e4ec.rmeta: src/bin/leopard.rs Cargo.toml
+
+src/bin/leopard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

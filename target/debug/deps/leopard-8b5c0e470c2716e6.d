@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-8b5c0e470c2716e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/leopard-8b5c0e470c2716e6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-93b40d5d6fb2caf4.d: src/bin/leopard.rs
+
+/root/repo/target/debug/deps/leopard-93b40d5d6fb2caf4: src/bin/leopard.rs
+
+src/bin/leopard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-ae5e1a11262a6640.d: src/lib.rs
+
+/root/repo/target/debug/deps/libleopard-ae5e1a11262a6640.rmeta: src/lib.rs
+
+src/lib.rs:

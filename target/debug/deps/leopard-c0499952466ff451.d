@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard-c0499952466ff451.d: src/bin/leopard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard-c0499952466ff451.rmeta: src/bin/leopard.rs Cargo.toml
+
+src/bin/leopard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

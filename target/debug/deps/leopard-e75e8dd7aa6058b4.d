@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-e75e8dd7aa6058b4.d: src/lib.rs
+
+/root/repo/target/debug/deps/leopard-e75e8dd7aa6058b4: src/lib.rs
+
+src/lib.rs:

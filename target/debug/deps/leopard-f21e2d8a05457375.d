@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-f21e2d8a05457375.d: crates/runtime/src/bin/leopard.rs
+
+/root/repo/target/debug/deps/leopard-f21e2d8a05457375: crates/runtime/src/bin/leopard.rs
+
+crates/runtime/src/bin/leopard.rs:

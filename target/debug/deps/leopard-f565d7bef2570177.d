@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leopard-f565d7bef2570177.d: src/lib.rs
+
+/root/repo/target/debug/deps/libleopard-f565d7bef2570177.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libleopard-f565d7bef2570177.rmeta: src/lib.rs
+
+src/lib.rs:

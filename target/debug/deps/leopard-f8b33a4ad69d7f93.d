@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard-f8b33a4ad69d7f93.d: crates/runtime/src/bin/leopard.rs
+
+/root/repo/target/debug/deps/libleopard-f8b33a4ad69d7f93.rmeta: crates/runtime/src/bin/leopard.rs
+
+crates/runtime/src/bin/leopard.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/leopard_accel-207b8e3396ad0979.d: crates/accel/src/lib.rs crates/accel/src/area.rs crates/accel/src/baseline.rs crates/accel/src/compare.rs crates/accel/src/config.rs crates/accel/src/cost.rs crates/accel/src/dpu.rs crates/accel/src/energy.rs crates/accel/src/schedule.rs crates/accel/src/sim.rs crates/accel/src/softmax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_accel-207b8e3396ad0979.rmeta: crates/accel/src/lib.rs crates/accel/src/area.rs crates/accel/src/baseline.rs crates/accel/src/compare.rs crates/accel/src/config.rs crates/accel/src/cost.rs crates/accel/src/dpu.rs crates/accel/src/energy.rs crates/accel/src/schedule.rs crates/accel/src/sim.rs crates/accel/src/softmax.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/area.rs:
+crates/accel/src/baseline.rs:
+crates/accel/src/compare.rs:
+crates/accel/src/config.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/dpu.rs:
+crates/accel/src/energy.rs:
+crates/accel/src/schedule.rs:
+crates/accel/src/sim.rs:
+crates/accel/src/softmax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/leopard_accel-b120761caa941430.d: crates/accel/src/lib.rs crates/accel/src/area.rs crates/accel/src/baseline.rs crates/accel/src/compare.rs crates/accel/src/config.rs crates/accel/src/cost.rs crates/accel/src/dpu.rs crates/accel/src/energy.rs crates/accel/src/schedule.rs crates/accel/src/sim.rs crates/accel/src/softmax.rs
+
+/root/repo/target/debug/deps/libleopard_accel-b120761caa941430.rmeta: crates/accel/src/lib.rs crates/accel/src/area.rs crates/accel/src/baseline.rs crates/accel/src/compare.rs crates/accel/src/config.rs crates/accel/src/cost.rs crates/accel/src/dpu.rs crates/accel/src/energy.rs crates/accel/src/schedule.rs crates/accel/src/sim.rs crates/accel/src/softmax.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/area.rs:
+crates/accel/src/baseline.rs:
+crates/accel/src/compare.rs:
+crates/accel/src/config.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/dpu.rs:
+crates/accel/src/energy.rs:
+crates/accel/src/schedule.rs:
+crates/accel/src/sim.rs:
+crates/accel/src/softmax.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/leopard_autodiff-aed96898de876788.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/debug/deps/libleopard_autodiff-aed96898de876788.rlib: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/debug/deps/libleopard_autodiff-aed96898de876788.rmeta: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/ops.rs:
+crates/autodiff/src/optim.rs:
+crates/autodiff/src/tape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard_autodiff-b8a41bff93848265.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/debug/deps/leopard_autodiff-b8a41bff93848265: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/ops.rs:
+crates/autodiff/src/optim.rs:
+crates/autodiff/src/tape.rs:

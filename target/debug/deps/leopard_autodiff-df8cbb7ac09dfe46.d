@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard_autodiff-df8cbb7ac09dfe46.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/debug/deps/libleopard_autodiff-df8cbb7ac09dfe46.rmeta: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/ops.rs:
+crates/autodiff/src/optim.rs:
+crates/autodiff/src/tape.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/leopard_autodiff-f7eb31785032ab63.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_autodiff-f7eb31785032ab63.rmeta: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs Cargo.toml
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/ops.rs:
+crates/autodiff/src/optim.rs:
+crates/autodiff/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard_bench-0d7e2c15b14ad356.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_bench-0d7e2c15b14ad356.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

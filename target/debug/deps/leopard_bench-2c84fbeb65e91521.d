@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard_bench-2c84fbeb65e91521.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/leopard_bench-2c84fbeb65e91521: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

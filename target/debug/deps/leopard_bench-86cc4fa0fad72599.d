@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leopard_bench-86cc4fa0fad72599.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleopard_bench-86cc4fa0fad72599.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleopard_bench-86cc4fa0fad72599.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard_bench-8a75f03737f20c15.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleopard_bench-8a75f03737f20c15.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

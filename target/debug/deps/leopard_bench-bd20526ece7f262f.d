@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard_bench-bd20526ece7f262f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_bench-bd20526ece7f262f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

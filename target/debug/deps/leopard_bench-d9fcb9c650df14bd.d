@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leopard_bench-d9fcb9c650df14bd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleopard_bench-d9fcb9c650df14bd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/leopard_core-055600ee81e2f2d4.d: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs
+
+/root/repo/target/debug/deps/libleopard_core-055600ee81e2f2d4.rlib: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs
+
+/root/repo/target/debug/deps/libleopard_core-055600ee81e2f2d4.rmeta: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs
+
+crates/core/src/lib.rs:
+crates/core/src/finetune.rs:
+crates/core/src/hooks.rs:
+crates/core/src/regularizer.rs:
+crates/core/src/soft_threshold.rs:
+crates/core/src/stats.rs:
+crates/core/src/thresholds.rs:

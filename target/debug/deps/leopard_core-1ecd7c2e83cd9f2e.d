@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/leopard_core-1ecd7c2e83cd9f2e.d: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_core-1ecd7c2e83cd9f2e.rmeta: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/finetune.rs:
+crates/core/src/hooks.rs:
+crates/core/src/regularizer.rs:
+crates/core/src/soft_threshold.rs:
+crates/core/src/stats.rs:
+crates/core/src/thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/leopard_core-c64cf61e0d119b8f.d: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs
+
+/root/repo/target/debug/deps/leopard_core-c64cf61e0d119b8f: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs
+
+crates/core/src/lib.rs:
+crates/core/src/finetune.rs:
+crates/core/src/hooks.rs:
+crates/core/src/regularizer.rs:
+crates/core/src/soft_threshold.rs:
+crates/core/src/stats.rs:
+crates/core/src/thresholds.rs:

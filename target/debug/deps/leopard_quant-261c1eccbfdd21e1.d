@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/leopard_quant-261c1eccbfdd21e1.d: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+/root/repo/target/debug/deps/leopard_quant-261c1eccbfdd21e1: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/bitserial.rs:
+crates/quant/src/fixed.rs:
+crates/quant/src/signmag.rs:

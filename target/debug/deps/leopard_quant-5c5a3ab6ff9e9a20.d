@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leopard_quant-5c5a3ab6ff9e9a20.d: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_quant-5c5a3ab6ff9e9a20.rmeta: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs Cargo.toml
+
+crates/quant/src/lib.rs:
+crates/quant/src/bitserial.rs:
+crates/quant/src/fixed.rs:
+crates/quant/src/signmag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leopard_quant-6854f70b617a27c6.d: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+/root/repo/target/debug/deps/libleopard_quant-6854f70b617a27c6.rlib: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+/root/repo/target/debug/deps/libleopard_quant-6854f70b617a27c6.rmeta: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/bitserial.rs:
+crates/quant/src/fixed.rs:
+crates/quant/src/signmag.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leopard_quant-70ddb90af78f4025.d: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_quant-70ddb90af78f4025.rmeta: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs Cargo.toml
+
+crates/quant/src/lib.rs:
+crates/quant/src/bitserial.rs:
+crates/quant/src/fixed.rs:
+crates/quant/src/signmag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

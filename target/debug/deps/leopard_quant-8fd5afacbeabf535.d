@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/leopard_quant-8fd5afacbeabf535.d: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+/root/repo/target/debug/deps/libleopard_quant-8fd5afacbeabf535.rmeta: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/bitserial.rs:
+crates/quant/src/fixed.rs:
+crates/quant/src/signmag.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/leopard_quant-e25036b05f26beeb.d: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+/root/repo/target/debug/deps/libleopard_quant-e25036b05f26beeb.rmeta: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/bitserial.rs:
+crates/quant/src/fixed.rs:
+crates/quant/src/signmag.rs:

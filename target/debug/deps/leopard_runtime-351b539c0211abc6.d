@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/leopard_runtime-351b539c0211abc6.d: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_runtime-351b539c0211abc6.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/cli.rs:
+crates/runtime/src/engine.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leopard_runtime-9b6a58600c21cd53.d: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs
+
+/root/repo/target/debug/deps/libleopard_runtime-9b6a58600c21cd53.rlib: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs
+
+/root/repo/target/debug/deps/libleopard_runtime-9b6a58600c21cd53.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/cli.rs:
+crates/runtime/src/engine.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leopard_runtime-a4f304eccfc268ff.d: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs
+
+/root/repo/target/debug/deps/leopard_runtime-a4f304eccfc268ff: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/cli.rs:
+crates/runtime/src/engine.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/report.rs:

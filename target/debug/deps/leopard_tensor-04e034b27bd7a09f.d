@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/leopard_tensor-04e034b27bd7a09f.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_tensor-04e034b27bd7a09f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

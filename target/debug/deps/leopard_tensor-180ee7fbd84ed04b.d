@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leopard_tensor-180ee7fbd84ed04b.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libleopard_tensor-180ee7fbd84ed04b.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leopard_tensor-7941898e007749b2.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libleopard_tensor-7941898e007749b2.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libleopard_tensor-7941898e007749b2.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:

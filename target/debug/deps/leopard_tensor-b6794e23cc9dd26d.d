@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/leopard_tensor-b6794e23cc9dd26d.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_tensor-b6794e23cc9dd26d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/leopard_transformer-37a61ec9e633e1a3.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_transformer-37a61ec9e633e1a3.rmeta: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs Cargo.toml
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/config.rs:
+crates/transformer/src/data.rs:
+crates/transformer/src/hooks.rs:
+crates/transformer/src/mask.rs:
+crates/transformer/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

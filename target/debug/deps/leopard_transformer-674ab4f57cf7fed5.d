@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/leopard_transformer-674ab4f57cf7fed5.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs
+
+/root/repo/target/debug/deps/libleopard_transformer-674ab4f57cf7fed5.rmeta: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/config.rs:
+crates/transformer/src/data.rs:
+crates/transformer/src/hooks.rs:
+crates/transformer/src/mask.rs:
+crates/transformer/src/model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/leopard_transformer-776c61a4426d77a8.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs
+
+/root/repo/target/debug/deps/libleopard_transformer-776c61a4426d77a8.rlib: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs
+
+/root/repo/target/debug/deps/libleopard_transformer-776c61a4426d77a8.rmeta: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/config.rs:
+crates/transformer/src/data.rs:
+crates/transformer/src/hooks.rs:
+crates/transformer/src/mask.rs:
+crates/transformer/src/model.rs:

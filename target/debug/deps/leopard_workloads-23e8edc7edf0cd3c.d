@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard_workloads-23e8edc7edf0cd3c.d: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+/root/repo/target/debug/deps/libleopard_workloads-23e8edc7edf0cd3c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/pipeline.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/training.rs:

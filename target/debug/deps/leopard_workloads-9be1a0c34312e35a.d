@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leopard_workloads-9be1a0c34312e35a.d: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+/root/repo/target/debug/deps/leopard_workloads-9be1a0c34312e35a: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/pipeline.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/training.rs:

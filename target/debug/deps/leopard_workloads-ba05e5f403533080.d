@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/leopard_workloads-ba05e5f403533080.d: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleopard_workloads-ba05e5f403533080.rmeta: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/pipeline.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

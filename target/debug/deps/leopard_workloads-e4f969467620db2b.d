@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/leopard_workloads-e4f969467620db2b.d: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+/root/repo/target/debug/deps/libleopard_workloads-e4f969467620db2b.rlib: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+/root/repo/target/debug/deps/libleopard_workloads-e4f969467620db2b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/pipeline.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-1b779933898650ba.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-1b779933898650ba: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-54f37eb16fd4d504.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-54f37eb16fd4d504: tests/paper_claims.rs
+
+tests/paper_claims.rs:

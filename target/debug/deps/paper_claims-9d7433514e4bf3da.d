@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-9d7433514e4bf3da.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/libpaper_claims-9d7433514e4bf3da.rmeta: tests/paper_claims.rs
+
+tests/paper_claims.rs:

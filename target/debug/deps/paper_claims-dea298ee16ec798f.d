@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-dea298ee16ec798f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-dea298ee16ec798f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

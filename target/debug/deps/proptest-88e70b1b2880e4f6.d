@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-88e70b1b2880e4f6.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-88e70b1b2880e4f6.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

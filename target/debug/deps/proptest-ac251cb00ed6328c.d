@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ac251cb00ed6328c.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-ac251cb00ed6328c: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e97426543274b668.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e97426543274b668.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

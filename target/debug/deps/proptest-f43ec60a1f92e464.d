@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f43ec60a1f92e464.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f43ec60a1f92e464.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f43ec60a1f92e464.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

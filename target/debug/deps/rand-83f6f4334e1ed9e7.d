@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-83f6f4334e1ed9e7.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-83f6f4334e1ed9e7.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-83f6f4334e1ed9e7.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

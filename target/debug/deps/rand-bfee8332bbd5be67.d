@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-bfee8332bbd5be67.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-bfee8332bbd5be67: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

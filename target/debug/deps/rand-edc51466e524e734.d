@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-edc51466e524e734.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-edc51466e524e734.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

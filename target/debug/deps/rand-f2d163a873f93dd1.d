@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f2d163a873f93dd1.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f2d163a873f93dd1.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-1d4bdb5c35ee9f64.d: crates/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-1d4bdb5c35ee9f64.rmeta: crates/serde/src/lib.rs Cargo.toml
+
+crates/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-649f994446db03d3.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-649f994446db03d3.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-649f994446db03d3.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

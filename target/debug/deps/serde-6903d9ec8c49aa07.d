@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-6903d9ec8c49aa07.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6903d9ec8c49aa07.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

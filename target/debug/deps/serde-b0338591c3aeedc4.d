@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b0338591c3aeedc4.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b0338591c3aeedc4.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

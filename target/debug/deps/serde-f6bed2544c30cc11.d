@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f6bed2544c30cc11.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-f6bed2544c30cc11: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

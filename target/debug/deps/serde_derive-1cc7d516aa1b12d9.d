@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-1cc7d516aa1b12d9.d: crates/serde/derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-1cc7d516aa1b12d9: crates/serde/derive/src/lib.rs
+
+crates/serde/derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-355ed8422aa1d194.d: crates/serde/derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-355ed8422aa1d194.rmeta: crates/serde/derive/src/lib.rs Cargo.toml
+
+crates/serde/derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-b5d82bac9e4a8be7.d: crates/serde/derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-b5d82bac9e4a8be7.so: crates/serde/derive/src/lib.rs Cargo.toml
+
+crates/serde/derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-b9de443de1c0dccf.d: crates/serde/derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-b9de443de1c0dccf.so: crates/serde/derive/src/lib.rs
+
+crates/serde/derive/src/lib.rs:

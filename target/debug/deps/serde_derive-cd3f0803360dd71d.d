@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-cd3f0803360dd71d.d: crates/serde/derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-cd3f0803360dd71d.rmeta: crates/serde/derive/src/lib.rs
+
+crates/serde/derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ecfc9cb68fbd9d41.d: crates/serde/derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ecfc9cb68fbd9d41.rmeta: crates/serde/derive/src/lib.rs
+
+crates/serde/derive/src/lib.rs:

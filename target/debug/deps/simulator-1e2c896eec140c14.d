@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-1e2c896eec140c14.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/libsimulator-1e2c896eec140c14.rmeta: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

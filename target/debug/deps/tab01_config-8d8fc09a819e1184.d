@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_config-8d8fc09a819e1184.d: crates/bench/src/bin/tab01_config.rs
+
+/root/repo/target/debug/deps/tab01_config-8d8fc09a819e1184: crates/bench/src/bin/tab01_config.rs
+
+crates/bench/src/bin/tab01_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_config-ca5f33903d542639.d: crates/bench/src/bin/tab01_config.rs
+
+/root/repo/target/debug/deps/libtab01_config-ca5f33903d542639.rmeta: crates/bench/src/bin/tab01_config.rs
+
+crates/bench/src/bin/tab01_config.rs:

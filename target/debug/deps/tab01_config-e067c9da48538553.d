@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_config-e067c9da48538553.d: crates/bench/src/bin/tab01_config.rs
+
+/root/repo/target/debug/deps/libtab01_config-e067c9da48538553.rmeta: crates/bench/src/bin/tab01_config.rs
+
+crates/bench/src/bin/tab01_config.rs:

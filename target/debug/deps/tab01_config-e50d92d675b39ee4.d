@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01_config-e50d92d675b39ee4.d: crates/bench/src/bin/tab01_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01_config-e50d92d675b39ee4.rmeta: crates/bench/src/bin/tab01_config.rs Cargo.toml
+
+crates/bench/src/bin/tab01_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab02_comparison-273f79dd6f34159e.d: crates/bench/src/bin/tab02_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab02_comparison-273f79dd6f34159e.rmeta: crates/bench/src/bin/tab02_comparison.rs Cargo.toml
+
+crates/bench/src/bin/tab02_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

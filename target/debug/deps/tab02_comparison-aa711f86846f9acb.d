@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02_comparison-aa711f86846f9acb.d: crates/bench/src/bin/tab02_comparison.rs
+
+/root/repo/target/debug/deps/libtab02_comparison-aa711f86846f9acb.rmeta: crates/bench/src/bin/tab02_comparison.rs
+
+crates/bench/src/bin/tab02_comparison.rs:

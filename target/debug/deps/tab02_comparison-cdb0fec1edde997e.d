@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02_comparison-cdb0fec1edde997e.d: crates/bench/src/bin/tab02_comparison.rs
+
+/root/repo/target/debug/deps/tab02_comparison-cdb0fec1edde997e: crates/bench/src/bin/tab02_comparison.rs
+
+crates/bench/src/bin/tab02_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab02_comparison-e1fc0797f08aa871.d: crates/bench/src/bin/tab02_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab02_comparison-e1fc0797f08aa871.rmeta: crates/bench/src/bin/tab02_comparison.rs Cargo.toml
+
+crates/bench/src/bin/tab02_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02_comparison-e6456d34f5eb50dc.d: crates/bench/src/bin/tab02_comparison.rs
+
+/root/repo/target/debug/deps/libtab02_comparison-e6456d34f5eb50dc.rmeta: crates/bench/src/bin/tab02_comparison.rs
+
+crates/bench/src/bin/tab02_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/early_termination_trace-3e9483fed8916501.d: examples/early_termination_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libearly_termination_trace-3e9483fed8916501.rmeta: examples/early_termination_trace.rs Cargo.toml
+
+examples/early_termination_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/early_termination_trace-8bdb75157d971310.d: examples/early_termination_trace.rs
+
+/root/repo/target/debug/examples/early_termination_trace-8bdb75157d971310: examples/early_termination_trace.rs
+
+examples/early_termination_trace.rs:

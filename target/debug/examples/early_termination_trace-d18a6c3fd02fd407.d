@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/early_termination_trace-d18a6c3fd02fd407.d: examples/early_termination_trace.rs
+
+/root/repo/target/debug/examples/early_termination_trace-d18a6c3fd02fd407: examples/early_termination_trace.rs
+
+examples/early_termination_trace.rs:

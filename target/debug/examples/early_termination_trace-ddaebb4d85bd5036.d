@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/early_termination_trace-ddaebb4d85bd5036.d: examples/early_termination_trace.rs
+
+/root/repo/target/debug/examples/libearly_termination_trace-ddaebb4d85bd5036.rmeta: examples/early_termination_trace.rs
+
+examples/early_termination_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_latency-161e5b0bda125c1f.d: examples/model_latency.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_latency-161e5b0bda125c1f.rmeta: examples/model_latency.rs Cargo.toml
+
+examples/model_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

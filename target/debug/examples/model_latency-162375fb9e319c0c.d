@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_latency-162375fb9e319c0c.d: examples/model_latency.rs
+
+/root/repo/target/debug/examples/model_latency-162375fb9e319c0c: examples/model_latency.rs
+
+examples/model_latency.rs:

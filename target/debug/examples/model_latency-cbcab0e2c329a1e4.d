@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_latency-cbcab0e2c329a1e4.d: examples/model_latency.rs
+
+/root/repo/target/debug/examples/model_latency-cbcab0e2c329a1e4: examples/model_latency.rs
+
+examples/model_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_latency-f43b8907ae3f08a4.d: examples/model_latency.rs
+
+/root/repo/target/debug/examples/libmodel_latency-f43b8907ae3f08a4.rmeta: examples/model_latency.rs
+
+examples/model_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3bd193d0ec6e7e23.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-3bd193d0ec6e7e23.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

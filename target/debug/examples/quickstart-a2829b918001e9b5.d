@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a2829b918001e9b5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a2829b918001e9b5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e508a01d9c7adb07.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e508a01d9c7adb07: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/suite_sweep-0cc850bfc9d50067.d: examples/suite_sweep.rs
+
+/root/repo/target/debug/examples/libsuite_sweep-0cc850bfc9d50067.rmeta: examples/suite_sweep.rs
+
+examples/suite_sweep.rs:

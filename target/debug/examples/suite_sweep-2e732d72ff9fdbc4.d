@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/suite_sweep-2e732d72ff9fdbc4.d: examples/suite_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsuite_sweep-2e732d72ff9fdbc4.rmeta: examples/suite_sweep.rs Cargo.toml
+
+examples/suite_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

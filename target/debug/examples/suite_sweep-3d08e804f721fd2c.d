@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/suite_sweep-3d08e804f721fd2c.d: examples/suite_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsuite_sweep-3d08e804f721fd2c.rmeta: examples/suite_sweep.rs Cargo.toml
+
+examples/suite_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/suite_sweep-c9fcc1dec6d65689.d: examples/suite_sweep.rs
+
+/root/repo/target/debug/examples/suite_sweep-c9fcc1dec6d65689: examples/suite_sweep.rs
+
+examples/suite_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/suite_sweep-dd8e0a5f8c625c44.d: examples/suite_sweep.rs
+
+/root/repo/target/debug/examples/suite_sweep-dd8e0a5f8c625c44: examples/suite_sweep.rs
+
+examples/suite_sweep.rs:

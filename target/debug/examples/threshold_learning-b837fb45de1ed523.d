@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threshold_learning-b837fb45de1ed523.d: examples/threshold_learning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreshold_learning-b837fb45de1ed523.rmeta: examples/threshold_learning.rs Cargo.toml
+
+examples/threshold_learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

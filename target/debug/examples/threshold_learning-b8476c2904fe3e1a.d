@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_learning-b8476c2904fe3e1a.d: examples/threshold_learning.rs
+
+/root/repo/target/debug/examples/libthreshold_learning-b8476c2904fe3e1a.rmeta: examples/threshold_learning.rs
+
+examples/threshold_learning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_learning-b8868a426820d03b.d: examples/threshold_learning.rs
+
+/root/repo/target/debug/examples/threshold_learning-b8868a426820d03b: examples/threshold_learning.rs
+
+examples/threshold_learning.rs:

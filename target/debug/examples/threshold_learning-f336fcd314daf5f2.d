@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_learning-f336fcd314daf5f2.d: examples/threshold_learning.rs
+
+/root/repo/target/debug/examples/threshold_learning-f336fcd314daf5f2: examples/threshold_learning.rs
+
+examples/threshold_learning.rs:

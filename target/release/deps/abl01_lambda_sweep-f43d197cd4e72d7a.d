@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl01_lambda_sweep-f43d197cd4e72d7a.d: crates/bench/src/bin/abl01_lambda_sweep.rs
+
+/root/repo/target/release/deps/abl01_lambda_sweep-f43d197cd4e72d7a: crates/bench/src/bin/abl01_lambda_sweep.rs
+
+crates/bench/src/bin/abl01_lambda_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl02_sharpness_sweep-4c82c3a312548061.d: crates/bench/src/bin/abl02_sharpness_sweep.rs
+
+/root/repo/target/release/deps/abl02_sharpness_sweep-4c82c3a312548061: crates/bench/src/bin/abl02_sharpness_sweep.rs
+
+crates/bench/src/bin/abl02_sharpness_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl03_margin_policy-18bbac19e0906c02.d: crates/bench/src/bin/abl03_margin_policy.rs
+
+/root/repo/target/release/deps/abl03_margin_policy-18bbac19e0906c02: crates/bench/src/bin/abl03_margin_policy.rs
+
+crates/bench/src/bin/abl03_margin_policy.rs:

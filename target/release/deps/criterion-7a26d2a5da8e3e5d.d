@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-7a26d2a5da8e3e5d.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7a26d2a5da8e3e5d.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7a26d2a5da8e3e5d.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

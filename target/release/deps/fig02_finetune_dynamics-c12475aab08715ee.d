@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_finetune_dynamics-c12475aab08715ee.d: crates/bench/src/bin/fig02_finetune_dynamics.rs
+
+/root/repo/target/release/deps/fig02_finetune_dynamics-c12475aab08715ee: crates/bench/src/bin/fig02_finetune_dynamics.rs
+
+crates/bench/src/bin/fig02_finetune_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_early_termination_example-b4be8cdc5646ac82.d: crates/bench/src/bin/fig03_early_termination_example.rs
+
+/root/repo/target/release/deps/fig03_early_termination_example-b4be8cdc5646ac82: crates/bench/src/bin/fig03_early_termination_example.rs
+
+crates/bench/src/bin/fig03_early_termination_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_accuracy-d9bef40ba77e13b0.d: crates/bench/src/bin/fig06_accuracy.rs
+
+/root/repo/target/release/deps/fig06_accuracy-d9bef40ba77e13b0: crates/bench/src/bin/fig06_accuracy.rs
+
+crates/bench/src/bin/fig06_accuracy.rs:

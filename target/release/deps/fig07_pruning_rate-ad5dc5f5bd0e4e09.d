@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_pruning_rate-ad5dc5f5bd0e4e09.d: crates/bench/src/bin/fig07_pruning_rate.rs
+
+/root/repo/target/release/deps/fig07_pruning_rate-ad5dc5f5bd0e4e09: crates/bench/src/bin/fig07_pruning_rate.rs
+
+crates/bench/src/bin/fig07_pruning_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_bit_cumulative-31e19af8e5fc6e1d.d: crates/bench/src/bin/fig08_bit_cumulative.rs
+
+/root/repo/target/release/deps/fig08_bit_cumulative-31e19af8e5fc6e1d: crates/bench/src/bin/fig08_bit_cumulative.rs
+
+crates/bench/src/bin/fig08_bit_cumulative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_speedup-278402939386e888.d: crates/bench/src/bin/fig09_speedup.rs
+
+/root/repo/target/release/deps/fig09_speedup-278402939386e888: crates/bench/src/bin/fig09_speedup.rs
+
+crates/bench/src/bin/fig09_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_energy-de2341e4fb62f65c.d: crates/bench/src/bin/fig10_energy.rs
+
+/root/repo/target/release/deps/fig10_energy-de2341e4fb62f65c: crates/bench/src/bin/fig10_energy.rs
+
+crates/bench/src/bin/fig10_energy.rs:

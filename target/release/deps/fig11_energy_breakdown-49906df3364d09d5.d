@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_energy_breakdown-49906df3364d09d5.d: crates/bench/src/bin/fig11_energy_breakdown.rs
+
+/root/repo/target/release/deps/fig11_energy_breakdown-49906df3364d09d5: crates/bench/src/bin/fig11_energy_breakdown.rs
+
+crates/bench/src/bin/fig11_energy_breakdown.rs:

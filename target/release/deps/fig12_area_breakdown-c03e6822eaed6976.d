@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_area_breakdown-c03e6822eaed6976.d: crates/bench/src/bin/fig12_area_breakdown.rs
+
+/root/repo/target/release/deps/fig12_area_breakdown-c03e6822eaed6976: crates/bench/src/bin/fig12_area_breakdown.rs
+
+crates/bench/src/bin/fig12_area_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_nqk_sweep-6bf042b5bbeab529.d: crates/bench/src/bin/fig13_nqk_sweep.rs
+
+/root/repo/target/release/deps/fig13_nqk_sweep-6bf042b5bbeab529: crates/bench/src/bin/fig13_nqk_sweep.rs
+
+crates/bench/src/bin/fig13_nqk_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_granularity_sweep-79a22333bbfa533a.d: crates/bench/src/bin/fig14_granularity_sweep.rs
+
+/root/repo/target/release/deps/fig14_granularity_sweep-79a22333bbfa533a: crates/bench/src/bin/fig14_granularity_sweep.rs
+
+crates/bench/src/bin/fig14_granularity_sweep.rs:

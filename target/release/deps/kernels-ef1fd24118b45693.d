@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-ef1fd24118b45693.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-ef1fd24118b45693: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

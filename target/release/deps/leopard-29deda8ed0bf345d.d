@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leopard-29deda8ed0bf345d.d: src/bin/leopard.rs
+
+/root/repo/target/release/deps/leopard-29deda8ed0bf345d: src/bin/leopard.rs
+
+src/bin/leopard.rs:

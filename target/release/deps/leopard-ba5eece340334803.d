@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leopard-ba5eece340334803.d: src/lib.rs
+
+/root/repo/target/release/deps/libleopard-ba5eece340334803.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libleopard-ba5eece340334803.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/leopard_accel-ffc091b61f8d3b08.d: crates/accel/src/lib.rs crates/accel/src/area.rs crates/accel/src/baseline.rs crates/accel/src/compare.rs crates/accel/src/config.rs crates/accel/src/cost.rs crates/accel/src/dpu.rs crates/accel/src/energy.rs crates/accel/src/schedule.rs crates/accel/src/sim.rs crates/accel/src/softmax.rs
+
+/root/repo/target/release/deps/libleopard_accel-ffc091b61f8d3b08.rlib: crates/accel/src/lib.rs crates/accel/src/area.rs crates/accel/src/baseline.rs crates/accel/src/compare.rs crates/accel/src/config.rs crates/accel/src/cost.rs crates/accel/src/dpu.rs crates/accel/src/energy.rs crates/accel/src/schedule.rs crates/accel/src/sim.rs crates/accel/src/softmax.rs
+
+/root/repo/target/release/deps/libleopard_accel-ffc091b61f8d3b08.rmeta: crates/accel/src/lib.rs crates/accel/src/area.rs crates/accel/src/baseline.rs crates/accel/src/compare.rs crates/accel/src/config.rs crates/accel/src/cost.rs crates/accel/src/dpu.rs crates/accel/src/energy.rs crates/accel/src/schedule.rs crates/accel/src/sim.rs crates/accel/src/softmax.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/area.rs:
+crates/accel/src/baseline.rs:
+crates/accel/src/compare.rs:
+crates/accel/src/config.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/dpu.rs:
+crates/accel/src/energy.rs:
+crates/accel/src/schedule.rs:
+crates/accel/src/sim.rs:
+crates/accel/src/softmax.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/leopard_autodiff-4c3f597725f58b36.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/release/deps/libleopard_autodiff-4c3f597725f58b36.rlib: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/release/deps/libleopard_autodiff-4c3f597725f58b36.rmeta: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/ops.rs crates/autodiff/src/optim.rs crates/autodiff/src/tape.rs
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/ops.rs:
+crates/autodiff/src/optim.rs:
+crates/autodiff/src/tape.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leopard_bench-d2c220b753d50d69.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libleopard_bench-d2c220b753d50d69.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libleopard_bench-d2c220b753d50d69.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

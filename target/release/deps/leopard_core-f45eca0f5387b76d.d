@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/leopard_core-f45eca0f5387b76d.d: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs
+
+/root/repo/target/release/deps/libleopard_core-f45eca0f5387b76d.rlib: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs
+
+/root/repo/target/release/deps/libleopard_core-f45eca0f5387b76d.rmeta: crates/core/src/lib.rs crates/core/src/finetune.rs crates/core/src/hooks.rs crates/core/src/regularizer.rs crates/core/src/soft_threshold.rs crates/core/src/stats.rs crates/core/src/thresholds.rs
+
+crates/core/src/lib.rs:
+crates/core/src/finetune.rs:
+crates/core/src/hooks.rs:
+crates/core/src/regularizer.rs:
+crates/core/src/soft_threshold.rs:
+crates/core/src/stats.rs:
+crates/core/src/thresholds.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/leopard_quant-1aab0da6328746f6.d: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+/root/repo/target/release/deps/libleopard_quant-1aab0da6328746f6.rlib: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+/root/repo/target/release/deps/libleopard_quant-1aab0da6328746f6.rmeta: crates/quant/src/lib.rs crates/quant/src/bitserial.rs crates/quant/src/fixed.rs crates/quant/src/signmag.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/bitserial.rs:
+crates/quant/src/fixed.rs:
+crates/quant/src/signmag.rs:

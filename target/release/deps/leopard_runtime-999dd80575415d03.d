@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/leopard_runtime-999dd80575415d03.d: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs
+
+/root/repo/target/release/deps/libleopard_runtime-999dd80575415d03.rlib: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs
+
+/root/repo/target/release/deps/libleopard_runtime-999dd80575415d03.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cache.rs crates/runtime/src/cli.rs crates/runtime/src/engine.rs crates/runtime/src/pool.rs crates/runtime/src/report.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/cli.rs:
+crates/runtime/src/engine.rs:
+crates/runtime/src/pool.rs:
+crates/runtime/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/leopard_transformer-21382745ad6ea4cb.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs
+
+/root/repo/target/release/deps/libleopard_transformer-21382745ad6ea4cb.rlib: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs
+
+/root/repo/target/release/deps/libleopard_transformer-21382745ad6ea4cb.rmeta: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/config.rs crates/transformer/src/data.rs crates/transformer/src/hooks.rs crates/transformer/src/mask.rs crates/transformer/src/model.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/config.rs:
+crates/transformer/src/data.rs:
+crates/transformer/src/hooks.rs:
+crates/transformer/src/mask.rs:
+crates/transformer/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/leopard_workloads-6280ff4ac37a75fb.d: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+/root/repo/target/release/deps/libleopard_workloads-6280ff4ac37a75fb.rlib: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+/root/repo/target/release/deps/libleopard_workloads-6280ff4ac37a75fb.rmeta: crates/workloads/src/lib.rs crates/workloads/src/pipeline.rs crates/workloads/src/report.rs crates/workloads/src/suite.rs crates/workloads/src/training.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/pipeline.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/training.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-4662f4948a3a0bab.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4662f4948a3a0bab.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4662f4948a3a0bab.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

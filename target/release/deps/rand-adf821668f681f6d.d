@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-adf821668f681f6d.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-adf821668f681f6d.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-adf821668f681f6d.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

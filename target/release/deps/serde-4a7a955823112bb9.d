@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-4a7a955823112bb9.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-4a7a955823112bb9.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-4a7a955823112bb9.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-7307d484e3967de9.d: crates/serde/derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-7307d484e3967de9.so: crates/serde/derive/src/lib.rs
+
+crates/serde/derive/src/lib.rs:

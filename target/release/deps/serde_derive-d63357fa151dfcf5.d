@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d63357fa151dfcf5.d: crates/serde/derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-d63357fa151dfcf5.so: crates/serde/derive/src/lib.rs
+
+crates/serde/derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01_config-f9e186362277e679.d: crates/bench/src/bin/tab01_config.rs
+
+/root/repo/target/release/deps/tab01_config-f9e186362277e679: crates/bench/src/bin/tab01_config.rs
+
+crates/bench/src/bin/tab01_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab02_comparison-fc4954fd09ddbfd5.d: crates/bench/src/bin/tab02_comparison.rs
+
+/root/repo/target/release/deps/tab02_comparison-fc4954fd09ddbfd5: crates/bench/src/bin/tab02_comparison.rs
+
+crates/bench/src/bin/tab02_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/suite_sweep-0b4812f8b9655a63.d: examples/suite_sweep.rs
+
+/root/repo/target/release/examples/suite_sweep-0b4812f8b9655a63: examples/suite_sweep.rs
+
+examples/suite_sweep.rs:

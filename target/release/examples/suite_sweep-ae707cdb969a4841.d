@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/suite_sweep-ae707cdb969a4841.d: examples/suite_sweep.rs
+
+/root/repo/target/release/examples/suite_sweep-ae707cdb969a4841: examples/suite_sweep.rs
+
+examples/suite_sweep.rs:
