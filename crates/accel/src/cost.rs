@@ -80,6 +80,62 @@ pub fn head_cost(workload: &HeadWorkload, config: &TileConfig, model: &EnergyMod
     HeadCost::from_result(&result, config, model)
 }
 
+/// Fraction of a pruned dot product's serial steps the early-termination
+/// logic is assumed to save, on average, by the analytical predictor. The
+/// exact saving depends on the score distribution; roughly half the
+/// magnitude bits matches the Figure 8 bit profiles across the suite.
+const EARLY_TERMINATION_SAVING: f64 = 0.45;
+
+/// Predicts the cycles one attention head of sequence length `seq_len`
+/// needs on `config`, **without running the simulator** — pure arithmetic
+/// over the tile parameters and an expected pruning rate, cheap enough to
+/// call per request on a serving admission path.
+///
+/// The model mirrors the simulator's timing structure: per Q row the
+/// front-end distributes `seq_len` dot products over the `N_QK` DPUs (a
+/// full dot costs [`TileConfig::full_dot_cycles`]; with early termination a
+/// pruned dot stops after roughly half its serial steps), the back-end
+/// consumes one surviving score per cycle, and rows pipeline so each costs
+/// the maximum of the two stages.
+///
+/// `pruning_rate` is the expected fraction of scores below the threshold
+/// (clamped to `[0, 1]`); it is ignored by configurations that do not
+/// prune.
+pub fn predict_head_cycles(config: &TileConfig, seq_len: usize, pruning_rate: f64) -> u64 {
+    let s = seq_len.max(1) as f64;
+    let rate = if config.pruning_enabled {
+        pruning_rate.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let full_dot = f64::from(config.full_dot_cycles());
+    let dot_cycles = if config.early_termination {
+        full_dot * (1.0 - rate * EARLY_TERMINATION_SAVING)
+    } else {
+        full_dot
+    };
+    let dots_per_dpu = (s / config.n_qk_dpu as f64).ceil();
+    let frontend_row = dots_per_dpu * dot_cycles;
+    let backend_row = s * (1.0 - rate);
+    // Rows pipeline: steady state advances at the slower stage's pace, plus
+    // one drain of the faster stage at the end.
+    let cycles = s * frontend_row.max(backend_row) + frontend_row.min(backend_row);
+    (cycles.round() as u64).max(1)
+}
+
+/// Predicts the cycles a whole inference request (all `heads` attention
+/// heads of one layer, executed sequentially on one tile) needs on
+/// `config`. This is the quantity the cost-model scheduler in
+/// `leopard-runtime` orders admission by.
+pub fn predict_request_cycles(
+    config: &TileConfig,
+    seq_len: usize,
+    heads: usize,
+    pruning_rate: f64,
+) -> u64 {
+    heads.max(1) as u64 * predict_head_cycles(config, seq_len, pruning_rate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +169,67 @@ mod tests {
         let expected = cost.cycles as f64 / cfg.frequency_mhz as f64;
         assert!((cost.latency_us - expected).abs() < 1e-12);
         assert!(cost.latency_us > 0.0);
+    }
+
+    #[test]
+    fn prediction_tracks_sequence_length_superlinearly() {
+        let cfg = TileConfig::ae_leopard();
+        let short = predict_head_cycles(&cfg, 24, 0.5);
+        let long = predict_head_cycles(&cfg, 96, 0.5);
+        // Cycles scale with s^2; quadrupling s must far more than quadruple.
+        assert!(long > short * 8, "short {short}, long {long}");
+    }
+
+    #[test]
+    fn prediction_decreases_with_pruning_on_leopard_but_not_baseline() {
+        let ae = TileConfig::ae_leopard();
+        assert!(predict_head_cycles(&ae, 64, 0.9) < predict_head_cycles(&ae, 64, 0.1));
+        let base = TileConfig::baseline();
+        assert_eq!(
+            predict_head_cycles(&base, 64, 0.9),
+            predict_head_cycles(&base, 64, 0.1),
+            "the unpruned baseline ignores the expected pruning rate"
+        );
+    }
+
+    #[test]
+    fn prediction_orders_workloads_like_the_simulator() {
+        let cfg = TileConfig::ae_leopard();
+        let model = EnergyModel::calibrated();
+        let sized = |s: usize| {
+            let mut r = rng::seeded(11);
+            let q = rng::normal_matrix(&mut r, s, 32, 0.0, 1.0);
+            let k = rng::normal_matrix(&mut r, s, 32, 0.0, 1.0);
+            let w = HeadWorkload::from_float(&q, &k, 0.1, 12);
+            head_cost(&w, &cfg, &model).cycles
+        };
+        let (small, big) = (sized(16), sized(64));
+        let (p_small, p_big) = (
+            predict_head_cycles(&cfg, 16, 0.5),
+            predict_head_cycles(&cfg, 64, 0.5),
+        );
+        assert!(small < big);
+        assert!(p_small < p_big, "prediction must preserve the ordering");
+        // The prediction is a model, not the simulator — but it should land
+        // within a small constant factor of the measured cycles.
+        for (predicted, actual) in [(p_small, small), (p_big, big)] {
+            let ratio = predicted as f64 / actual as f64;
+            assert!(
+                (0.3..=3.0).contains(&ratio),
+                "predicted {predicted} vs actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_prediction_scales_with_heads() {
+        let cfg = TileConfig::hp_leopard();
+        let one = predict_request_cycles(&cfg, 48, 1, 0.6);
+        let twelve = predict_request_cycles(&cfg, 48, 12, 0.6);
+        assert_eq!(twelve, one * 12);
+        // Degenerate inputs clamp instead of panicking.
+        assert_eq!(predict_request_cycles(&cfg, 48, 0, 0.6), one);
+        assert!(predict_head_cycles(&cfg, 0, 2.0) >= 1);
     }
 
     #[test]

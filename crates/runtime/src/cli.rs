@@ -4,19 +4,31 @@
 //!
 //! * `leopard suite` — run the 43-task suite on the parallel engine and
 //!   print per-task rows, the suite summary, and execution timing.
-//! * `leopard task <name>` — run one task (matched by exact name or
-//!   case-insensitive substring) and print its full result.
+//! * `leopard serve` — replay a deterministic synthetic request stream
+//!   against the suite and print latency percentiles, throughput, and
+//!   queue depth (see [`crate::serving`]).
+//! * `leopard task <name>` — run one task (matched by exact name —
+//!   case-insensitively if needed — or case-insensitive substring) and
+//!   print its full result.
 //! * `leopard sweep --param nqk=2..10` — design-space sweep over a tile
 //!   parameter, reusing cached workloads across design points.
 //! * `leopard list` — list the suite's tasks.
 //!
 //! Shared flags: `--threads N` (0 = all cores), `--max-seq-len L`,
 //! `--heads H`, `--quick` (every 4th task), `--full-scale`,
-//! `--json PATH` / `--csv PATH` for structured reports.
+//! `--schedule fifo|ljf` (suite and serve), `--json PATH` / `--csv PATH`
+//! for structured reports. `--full-scale` and `--max-seq-len` are mutually
+//! exclusive — the combination is rejected rather than letting whichever
+//! flag comes last win silently.
 
 use crate::engine::{SuiteReport, SuiteRunner};
 use crate::pool::parallel_map;
-use crate::report::{suite_report_json, suite_table, summary_line, task_results_csv};
+use crate::report::{
+    serving_report_json, serving_requests_csv, serving_summary, suite_report_json, suite_table,
+    summary_line, task_results_csv,
+};
+use crate::sched::SchedulePolicy;
+use crate::serving::{run_serving, ServingOptions, ServingReport};
 use leopard_accel::config::TileConfig;
 use leopard_accel::cost::head_cost;
 use leopard_accel::energy::EnergyModel;
@@ -34,10 +46,37 @@ pub struct CommonOptions {
     pub pipeline: PipelineOptions,
     /// Keep only every 4th task (`--quick`).
     pub quick: bool,
+    /// Admission-ordering policy (`--schedule`).
+    pub schedule: SchedulePolicy,
     /// Write a JSON report here.
     pub json_path: Option<String>,
     /// Write a CSV report here.
     pub csv_path: Option<String>,
+}
+
+/// The `leopard serve`-specific knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    /// Number of requests in the stream (`--requests`).
+    pub requests: usize,
+    /// Offered load in requests per virtual second (`--rate`).
+    pub rate_rps: f64,
+    /// Arrival-process seed (`--seed`).
+    pub seed: u64,
+    /// Virtual tiles to dispatch onto (`--servers`).
+    pub servers: usize,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        let defaults = ServingOptions::default();
+        Self {
+            requests: defaults.requests,
+            rate_rps: defaults.rate_rps,
+            seed: defaults.seed,
+            servers: defaults.servers,
+        }
+    }
 }
 
 /// A parsed invocation.
@@ -45,6 +84,8 @@ pub struct CommonOptions {
 pub enum Command {
     /// Run the whole suite.
     Suite(CommonOptions),
+    /// Replay a serving-mode request stream.
+    Serve(ServeSpec, CommonOptions),
     /// Run one task by name.
     Task(String, CommonOptions),
     /// Sweep a tile parameter over the representative task set.
@@ -89,6 +130,8 @@ leopard — parallel suite-execution engine for the LeOPArd reproduction
 
 USAGE:
     leopard suite [FLAGS]            run the 43-task suite in parallel
+    leopard serve [FLAGS]            replay a synthetic request stream and
+                                     report latency percentiles
     leopard task <name> [FLAGS]      run one task (exact or substring match)
     leopard sweep --param P=SPEC     sweep a tile parameter (nqk, serial-bits)
     leopard list                     list the suite's tasks
@@ -99,10 +142,21 @@ FLAGS:
     --max-seq-len L   cap the simulated sequence length (default 96)
     --heads H         attention heads simulated per task (default 1)
     --quick           keep every 4th task only
-    --full-scale      simulate the paper's full sequence lengths (slow)
+    --full-scale      simulate the paper's full sequence lengths (slow;
+                      conflicts with --max-seq-len)
+    --schedule P      admission order: fifo (arrival) or ljf
+                      (longest-predicted-job-first); suite and serve only
     --json PATH       write a JSON report
     --csv PATH        write a CSV report
     --all-tasks       (sweep) use all 43 tasks, not the representative set
+
+SERVE FLAGS:
+    --requests N      requests in the stream (default 256)
+    --rate R          offered load in requests per virtual second (default
+                      100000000 — deliberately above capacity so a backlog
+                      forms and the admission order matters)
+    --seed S          arrival-process seed (default 0x5EEDCAFE)
+    --servers T       virtual tiles to dispatch onto (default 32)
 
 PARAM SPECS:
     --param nqk=2..10            inclusive range
@@ -133,6 +187,16 @@ fn parse_values(spec: &str) -> Result<Vec<u32>, String> {
             })
             .collect()
     }
+}
+
+/// Parses a `--seed` value, accepting decimal (`123`) and hex (`0x5EED`)
+/// forms.
+fn parse_seed(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("bad seed {v:?}"))
 }
 
 /// Parses a `--param` argument such as `nqk=2..10`.
@@ -169,9 +233,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         Some(s) => s.as_str(),
     };
     let mut common = CommonOptions::default();
+    let mut serve = ServeSpec::default();
     let mut task_name: Option<String> = None;
     let mut sweep: Option<(SweepParam, Vec<u32>)> = None;
     let mut all_tasks = false;
+    let mut schedule_set = false;
+    let mut max_seq_len_set = false;
+    let mut full_scale = false;
+    let mut serve_flag_seen: Option<&'static str> = None;
 
     let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
                       flag: &str|
@@ -191,17 +260,51 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let v = take_value(&mut it, "--max-seq-len")?;
                 common.pipeline.max_sim_seq_len =
                     v.parse().map_err(|_| format!("bad length {v:?}"))?;
+                max_seq_len_set = true;
             }
             "--heads" => {
                 let v = take_value(&mut it, "--heads")?;
                 common.pipeline.heads = v.parse().map_err(|_| format!("bad head count {v:?}"))?;
             }
             "--quick" => common.quick = true,
-            "--full-scale" => common.pipeline.max_sim_seq_len = usize::MAX,
+            "--full-scale" => {
+                common.pipeline.max_sim_seq_len = usize::MAX;
+                full_scale = true;
+            }
+            "--schedule" => {
+                common.schedule = SchedulePolicy::parse(&take_value(&mut it, "--schedule")?)?;
+                schedule_set = true;
+            }
             "--json" => common.json_path = Some(take_value(&mut it, "--json")?),
             "--csv" => common.csv_path = Some(take_value(&mut it, "--csv")?),
             "--param" => sweep = Some(parse_param(&take_value(&mut it, "--param")?)?),
             "--all-tasks" => all_tasks = true,
+            "--requests" => {
+                let v = take_value(&mut it, "--requests")?;
+                serve.requests = v.parse().map_err(|_| format!("bad request count {v:?}"))?;
+                serve_flag_seen = serve_flag_seen.or(Some("--requests"));
+            }
+            "--rate" => {
+                let v = take_value(&mut it, "--rate")?;
+                serve.rate_rps = v.parse().map_err(|_| format!("bad rate {v:?}"))?;
+                if !(serve.rate_rps.is_finite() && serve.rate_rps > 0.0) {
+                    return Err(format!("--rate must be positive, got {v:?}"));
+                }
+                serve_flag_seen = serve_flag_seen.or(Some("--rate"));
+            }
+            "--seed" => {
+                let v = take_value(&mut it, "--seed")?;
+                serve.seed = parse_seed(&v)?;
+                serve_flag_seen = serve_flag_seen.or(Some("--seed"));
+            }
+            "--servers" => {
+                let v = take_value(&mut it, "--servers")?;
+                serve.servers = v.parse().map_err(|_| format!("bad server count {v:?}"))?;
+                if serve.servers == 0 {
+                    return Err("--servers must be at least 1".to_string());
+                }
+                serve_flag_seen = serve_flag_seen.or(Some("--servers"));
+            }
             other if !other.starts_with('-') && sub == "task" && task_name.is_none() => {
                 task_name = Some(other.to_string());
             }
@@ -213,11 +316,37 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
     }
 
+    // Flag-combination checks that are independent of argument order.
+    if full_scale && max_seq_len_set {
+        return Err(
+            "--full-scale and --max-seq-len conflict: --full-scale means \"simulate the \
+             paper's full sequence lengths\"; pass one or the other"
+                .to_string(),
+        );
+    }
     if all_tasks && sub != "sweep" {
         return Err("--all-tasks only applies to `leopard sweep`".to_string());
     }
+    if schedule_set && !matches!(sub, "suite" | "serve") {
+        return Err("--schedule only applies to `leopard suite` and `leopard serve`".to_string());
+    }
+    if let Some(flag) = serve_flag_seen {
+        if sub != "serve" {
+            return Err(format!("{flag} only applies to `leopard serve`"));
+        }
+    }
     match sub {
         "suite" => Ok(Command::Suite(common)),
+        "serve" => {
+            if common.quick {
+                return Err(
+                    "--quick does not apply to `leopard serve` (the stream draws from the \
+                     full suite)"
+                        .to_string(),
+                );
+            }
+            Ok(Command::Serve(serve, common))
+        }
         "task" => {
             let name = task_name.ok_or("`leopard task` expects a task name")?;
             if common.quick {
@@ -287,6 +416,17 @@ fn print_timing(report: &SuiteReport) {
     );
 }
 
+/// Renders the console body of `leopard suite` (table + summary line).
+/// Split from [`run_suite_command`] so the empty-results path is testable
+/// without capturing stdout.
+fn suite_console_output(report: &SuiteReport) -> String {
+    format!(
+        "{}\n{}\n",
+        suite_table(&report.results),
+        summary_line(&report.results)
+    )
+}
+
 fn run_suite_command(common: &CommonOptions) -> Result<(), String> {
     let tasks = if common.quick {
         quick_subset(full_suite())
@@ -295,43 +435,113 @@ fn run_suite_command(common: &CommonOptions) -> Result<(), String> {
     };
     let runner = SuiteRunner::new(common.threads);
     println!(
-        "simulating {} tasks on {} threads (sequence lengths capped at {})...",
+        "simulating {} tasks on {} threads, {} submission order (sequence lengths capped at {})...",
         tasks.len(),
         runner.threads(),
+        common.schedule.label(),
         common.pipeline.max_sim_seq_len,
     );
-    let report = runner.run(&tasks, &common.pipeline);
+    let report = runner.run_scheduled(&tasks, &common.pipeline, common.schedule);
 
     println!();
-    print!("{}", suite_table(&report.results));
-    println!("\n{}", summary_line(&report.results));
+    print!("{}", suite_console_output(&report));
     print_timing(&report);
     write_structured_reports(&report, common)
 }
 
+fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), String> {
+    let suite = full_suite();
+    let options = ServingOptions {
+        requests: spec.requests,
+        rate_rps: spec.rate_rps,
+        seed: spec.seed,
+        policy: common.schedule,
+        servers: spec.servers,
+        pipeline: common.pipeline,
+        ..ServingOptions::default()
+    };
+    let runner = SuiteRunner::new(common.threads);
+    println!(
+        "serving {} requests at {:.0} req/s ({} schedule, {} virtual tiles, seed {:#x}) on {} \
+         worker threads...",
+        options.requests,
+        options.rate_rps,
+        options.policy.label(),
+        options.servers,
+        options.seed,
+        runner.threads(),
+    );
+    let report = run_serving(&runner, &suite, &options);
+
+    println!();
+    print!("{}", serving_summary(&report));
+    let stats = report.cache;
+    println!(
+        "\nexecuted in {:.3}s wall on {} threads (workload cache: {} built, {} reused) — \
+         cycle accounting is virtual and thread-count independent",
+        report.wall.as_secs_f64(),
+        report.threads,
+        stats.misses,
+        stats.hits,
+    );
+    write_serving_reports(&report, common)
+}
+
+fn write_serving_reports(report: &ServingReport, common: &CommonOptions) -> Result<(), String> {
+    if let Some(path) = &common.json_path {
+        std::fs::write(path, serving_report_json(report))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote JSON report to {path}");
+    }
+    if let Some(path) = &common.csv_path {
+        std::fs::write(path, serving_requests_csv(report))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote CSV report to {path}");
+    }
+    Ok(())
+}
+
+/// Resolves a task-name argument against the suite: exact match first, then
+/// case-insensitive exact match, then case-insensitive substring match.
+/// Exact matches win before substring ambiguity is even considered, so
+/// `memn2n task-1` finds "MemN2N Task-1" although it is also a substring of
+/// Task-10 through Task-19.
+///
+/// # Errors
+///
+/// Returns a descriptive message when nothing matches or a substring is
+/// ambiguous.
+pub fn find_task<'a>(
+    suite: &'a [TaskDescriptor],
+    name: &str,
+) -> Result<&'a TaskDescriptor, String> {
+    if let Some(exact) = suite.iter().find(|t| t.name == name) {
+        return Ok(exact);
+    }
+    let lowered = name.to_lowercase();
+    if let Some(exact) = suite.iter().find(|t| t.name.to_lowercase() == lowered) {
+        return Ok(exact);
+    }
+    let matches: Vec<&TaskDescriptor> = suite
+        .iter()
+        .filter(|t| t.name.to_lowercase().contains(&lowered))
+        .collect();
+    match matches.as_slice() {
+        [] => Err(format!("no task matches {name:?} (see `leopard list`)")),
+        [single] => Ok(single),
+        many => {
+            let names: Vec<&str> = many.iter().map(|t| t.name.as_str()).collect();
+            Err(format!(
+                "{name:?} is ambiguous — it matches {}; use the exact name",
+                names.join(", ")
+            ))
+        }
+    }
+}
+
 fn run_task_command(name: &str, common: &CommonOptions) -> Result<(), String> {
     let suite = full_suite();
-    let task = match suite.iter().find(|t| t.name == name) {
-        Some(exact) => exact,
-        None => {
-            let lowered = name.to_lowercase();
-            let matches: Vec<&TaskDescriptor> = suite
-                .iter()
-                .filter(|t| t.name.to_lowercase().contains(&lowered))
-                .collect();
-            match matches.as_slice() {
-                [] => return Err(format!("no task matches {name:?} (see `leopard list`)")),
-                [single] => *single,
-                many => {
-                    let names: Vec<&str> = many.iter().map(|t| t.name.as_str()).collect();
-                    return Err(format!(
-                        "{name:?} is ambiguous — it matches {}; use the exact name",
-                        names.join(", ")
-                    ));
-                }
-            }
-        }
-    };
+    let task = find_task(&suite, name)?;
 
     let runner = SuiteRunner::new(common.threads);
     let report = runner.run(std::slice::from_ref(task), &common.pipeline);
@@ -517,6 +727,7 @@ fn run_list_command() {
 pub fn run(args: &[String]) -> Result<(), String> {
     match parse(args)? {
         Command::Suite(common) => run_suite_command(&common),
+        Command::Serve(spec, common) => run_serve_command(&spec, &common),
         Command::Task(name, common) => run_task_command(&name, &common),
         Command::Sweep(spec, common) => run_sweep_command(&spec, &common),
         Command::List => {
@@ -610,5 +821,134 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn full_scale_conflicts_with_max_seq_len_in_both_orders() {
+        for order in [
+            &["suite", "--full-scale", "--max-seq-len", "64"][..],
+            &["suite", "--max-seq-len", "64", "--full-scale"][..],
+        ] {
+            let err = parse(&args(order)).unwrap_err();
+            assert!(
+                err.contains("--full-scale and --max-seq-len conflict"),
+                "unhelpful error for {order:?}: {err}"
+            );
+        }
+        // Each flag alone still parses.
+        assert!(parse(&args(&["suite", "--max-seq-len", "64"])).is_ok());
+        assert!(parse(&args(&["serve", "--full-scale"])).is_ok());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cmd = parse(&args(&[
+            "serve",
+            "--requests",
+            "64",
+            "--rate",
+            "250000",
+            "--seed",
+            "0x5eed",
+            "--servers",
+            "4",
+            "--schedule",
+            "ljf",
+            "--csv",
+            "/tmp/serve.csv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(spec, common) => {
+                assert_eq!(spec.requests, 64);
+                assert_eq!(spec.rate_rps, 250_000.0);
+                assert_eq!(spec.seed, 0x5eed);
+                assert_eq!(spec.servers, 4);
+                assert_eq!(common.schedule, SchedulePolicy::Ljf);
+                assert_eq!(common.csv_path.as_deref(), Some("/tmp/serve.csv"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults match the library defaults.
+        match parse(&args(&["serve"])).unwrap() {
+            Command::Serve(spec, common) => {
+                assert_eq!(spec, ServeSpec::default());
+                assert_eq!(common.schedule, SchedulePolicy::Fifo);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        assert!(parse(&args(&["serve", "--rate", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--rate", "-5"])).is_err());
+        assert!(parse(&args(&["serve", "--servers", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--seed", "zebra"])).is_err());
+        assert!(parse(&args(&["serve", "--quick"])).is_err());
+        // Serve-only and schedule flags are rejected elsewhere.
+        assert!(parse(&args(&["suite", "--requests", "9"])).is_err());
+        assert!(parse(&args(&["task", "x", "--schedule", "ljf"])).is_err());
+        assert!(parse(&args(&["suite", "--schedule", "srpt"])).is_err());
+        // --schedule is fine on suite.
+        match parse(&args(&["suite", "--schedule", "ljf"])).unwrap() {
+            Command::Suite(common) => assert_eq!(common.schedule, SchedulePolicy::Ljf),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seed_parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Ok(42));
+        assert_eq!(parse_seed("0x2A"), Ok(42));
+        assert_eq!(parse_seed("0X2a"), Ok(42));
+        assert!(parse_seed("0x").is_err());
+        assert!(parse_seed("").is_err());
+    }
+
+    #[test]
+    fn find_task_prefers_exact_matches_over_substring_ambiguity() {
+        let suite = full_suite();
+        // Case-sensitive exact match: also a substring of Task-10..Task-19,
+        // yet never ambiguous.
+        assert_eq!(
+            find_task(&suite, "MemN2N Task-1").unwrap().name,
+            "MemN2N Task-1"
+        );
+        // Case-insensitive exact match wins before substring ambiguity.
+        assert_eq!(
+            find_task(&suite, "memn2n task-1").unwrap().name,
+            "MemN2N Task-1"
+        );
+        assert_eq!(
+            find_task(&suite, "BERT-B SQUAD").unwrap().name,
+            "BERT-B SQuAD"
+        );
+        // Unique substring still resolves, case-insensitively.
+        assert_eq!(
+            find_task(&suite, "wikitext").unwrap().name,
+            "GPT-2-L WikiText-2"
+        );
+        // A genuinely ambiguous substring still errors, listing candidates.
+        let err = find_task(&suite, "task-1").unwrap_err();
+        assert!(
+            err.contains("ambiguous") && err.contains("MemN2N Task-10"),
+            "{err}"
+        );
+        // And a miss names the remedy.
+        assert!(find_task(&suite, "nonexistent")
+            .unwrap_err()
+            .contains("leopard list"));
+    }
+
+    #[test]
+    fn empty_suite_console_output_reports_no_tasks() {
+        let runner = SuiteRunner::new(1);
+        let report = runner.run(&[], &PipelineOptions::default());
+        let out = suite_console_output(&report);
+        assert!(
+            out.contains("no tasks simulated"),
+            "empty-suite output was:\n{out}"
+        );
     }
 }

@@ -25,8 +25,10 @@
 
 use crate::cache::{CacheStats, WorkloadCache};
 use crate::pool::{default_threads, ThreadPool};
+use crate::sched::{submission_order, SchedulePolicy};
 use leopard_workloads::pipeline::{
-    aggregate_task, simulate_unit, HeadUnitResults, PipelineOptions, SimUnitKind, TaskResult,
+    aggregate_task, predict_task_cycles, simulate_unit, HeadUnitResults, PipelineOptions,
+    SimUnitKind, TaskResult,
 };
 use leopard_workloads::suite::TaskDescriptor;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -84,6 +86,8 @@ pub struct SuiteReport {
     pub jobs: usize,
     /// Workload-cache counters for this runner (cumulative across runs).
     pub cache: CacheStats,
+    /// Admission policy the run's task submission followed.
+    pub schedule: SchedulePolicy,
 }
 
 /// Per-task bookkeeping shared by that task's jobs.
@@ -153,18 +157,38 @@ impl SuiteRunner {
         &self.pool
     }
 
-    /// Executes the suite DAG over `tasks` and returns results in input
-    /// order, bit-identical to running
+    /// Executes the suite DAG over `tasks` in arrival (input) order and
+    /// returns results in input order, bit-identical to running
     /// [`run_task`](leopard_workloads::pipeline::run_task) serially per task.
     pub fn run(&self, tasks: &[TaskDescriptor], options: &PipelineOptions) -> SuiteReport {
+        self.run_scheduled(tasks, options, SchedulePolicy::Fifo)
+    }
+
+    /// Executes the suite DAG with task submission ordered by `policy`:
+    /// longest-predicted-job-first starts the expensive tasks before the
+    /// cheap ones, which keeps them off the critical path and cuts the tail
+    /// of the run (the time the last task finishes). Scheduling only
+    /// changes *when* jobs start — results are bit-identical across
+    /// policies and thread counts, and always in input order.
+    pub fn run_scheduled(
+        &self,
+        tasks: &[TaskDescriptor],
+        options: &PipelineOptions,
+        policy: SchedulePolicy,
+    ) -> SuiteReport {
         let start = Instant::now();
         let clocks = Arc::new(StageClocks::default());
         let jobs = Arc::new(AtomicUsize::new(0));
         let heads = options.heads.max(1);
         let unit_count = SimUnitKind::ALL.len();
 
+        let costs: Vec<u64> = tasks
+            .iter()
+            .map(|task| predict_task_cycles(task, options))
+            .collect();
         let (tx, rx) = std::sync::mpsc::channel::<(usize, TaskResult)>();
-        for (task_index, task) in tasks.iter().enumerate() {
+        for task_index in submission_order(&costs, policy) {
+            let task = &tasks[task_index];
             let state = Arc::new(TaskState {
                 task: task.clone(),
                 heads,
@@ -200,6 +224,7 @@ impl SuiteRunner {
             stages: clocks.totals(),
             jobs: jobs.load(Ordering::Relaxed),
             cache: self.cache.stats(),
+            schedule: policy,
         }
     }
 
@@ -325,6 +350,22 @@ mod tests {
         let report = run_suite_parallel(&[], &quick(), 2);
         assert!(report.results.is_empty());
         assert_eq!(report.jobs, 0);
+        assert_eq!(report.schedule, SchedulePolicy::Fifo);
+    }
+
+    #[test]
+    fn ljf_schedule_changes_nothing_but_the_label() {
+        let tasks: Vec<_> = full_suite().into_iter().take(6).collect();
+        let options = quick();
+        let runner = SuiteRunner::new(3);
+        let fifo = runner.run_scheduled(&tasks, &options, SchedulePolicy::Fifo);
+        let ljf = runner.run_scheduled(&tasks, &options, SchedulePolicy::Ljf);
+        assert_eq!(
+            fifo.results, ljf.results,
+            "scheduling must not change results"
+        );
+        assert_eq!(ljf.schedule, SchedulePolicy::Ljf);
+        assert_eq!(fifo.jobs, ljf.jobs);
     }
 
     #[test]

@@ -21,10 +21,19 @@
 //!   **bit-identical** to the serial pipeline for any thread count (every
 //!   job is a pure function of its fixed per-head seed, and aggregation
 //!   consumes unit results in head order).
-//! * [`report`] — structured JSON/CSV rendering of suite reports with
-//!   timing and cache statistics.
+//! * [`sched`] — cost-model admission scheduling: FIFO and
+//!   longest-predicted-job-first ([`SchedulePolicy`](sched::SchedulePolicy)
+//!   plus the deterministic [`ReadyQueue`](sched::ReadyQueue)), shared by
+//!   the suite and serving engines.
+//! * [`serving`] — the serving-mode engine: a seeded synthetic request
+//!   stream replayed on a virtual cycle clock with p50/p95/p99/max latency,
+//!   throughput, and queue-depth reporting. Per-request accounting is
+//!   bit-identical for any thread count.
+//! * [`report`] — structured JSON/CSV rendering of suite and serving
+//!   reports with timing and cache statistics.
 //! * [`cli`] — the `leopard` binary: `leopard suite`, `leopard task
-//!   <name>`, `leopard sweep --param nqk=2..10`, `leopard list`.
+//!   <name>`, `leopard sweep --param nqk=2..10`, `leopard serve --requests
+//!   N --rate R --schedule ljf`, `leopard list`.
 //!
 //! # Example
 //!
@@ -48,7 +57,11 @@ pub mod cli;
 pub mod engine;
 pub mod pool;
 pub mod report;
+pub mod sched;
+pub mod serving;
 
 pub use cache::{CacheStats, WorkloadCache};
 pub use engine::{run_suite_parallel, SuiteReport, SuiteRunner};
 pub use pool::{parallel_map, ThreadPool};
+pub use sched::SchedulePolicy;
+pub use serving::{run_serving, ServingOptions, ServingReport};

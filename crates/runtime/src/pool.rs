@@ -4,9 +4,12 @@
 //! common case for DAG successors: a build job spawning its simulation
 //! units) push onto that worker's local queue and are popped LIFO, which
 //! keeps a task's workload hot in cache. Jobs spawned from outside land in a
-//! shared injector queue. An idle worker pops its own queue first, then the
-//! injector, then steals FIFO from its siblings — classic work stealing,
-//! with no dependency beyond `std`.
+//! shared injector queue and are consumed **in submission order** — the
+//! property the cost-model scheduler in [`crate::sched`] relies on:
+//! submitting suite tasks longest-predicted-first means workers actually
+//! start them in that order. An idle worker pops its own queue first, then
+//! the injector, then steals FIFO from its siblings — classic work
+//! stealing, with no dependency beyond `std`.
 //!
 //! The pool itself is completion-agnostic: callers track completion through
 //! channels (see [`parallel_map`] and the suite engine), which keeps the
@@ -338,6 +341,22 @@ mod tests {
             x * x
         });
         assert_eq!(out, (0..100i64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn external_spawns_run_in_submission_order_on_one_worker() {
+        // The injector is FIFO, and a single worker consumes it directly —
+        // the ordering contract the cost-model scheduler's submission order
+        // rests on (with more workers, starts still follow submission order
+        // even though completions may interleave).
+        let pool = ThreadPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..64u64 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), (0..64).collect::<Vec<_>>());
     }
 
     #[test]

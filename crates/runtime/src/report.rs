@@ -1,11 +1,22 @@
-//! Structured JSON/CSV rendering of suite reports.
+//! Structured JSON/CSV rendering of suite and serving reports.
 //!
 //! The workspace's serde is an offline no-op stub (see `crates/serde`), so
 //! report serialization is rendered directly: a small JSON writer with
-//! correct string escaping and a flat CSV table. Output field order is
+//! correct string escaping and flat CSV tables. Output field order is
 //! fixed, so reports diff cleanly across runs.
+//!
+//! # Non-finite values
+//!
+//! JSON has no `NaN`/`Infinity`, and a CSV cell reading `NaN` silently
+//! round-trips to a string in most readers. Both writers therefore share
+//! one contract for non-finite `f64`s: the JSON writer emits `null`
+//! ([`json_f64`]) and the CSV writer emits an **empty cell** (`csv_f64`) —
+//! never the raw `Display` text. Serving-report CSVs avoid the question
+//! entirely by writing integer cycle counts only, which is also what makes
+//! them bit-comparable across thread counts.
 
 use crate::engine::SuiteReport;
+use crate::serving::ServingReport;
 use leopard_workloads::pipeline::{summarize, TaskResult};
 use std::fmt::Write as _;
 
@@ -33,6 +44,26 @@ fn json_f64(v: f64) -> String {
     } else {
         // JSON has no Inf/NaN; null is the conventional stand-in.
         "null".to_string()
+    }
+}
+
+/// CSV counterpart of [`json_f64`]: non-finite values become an empty cell
+/// instead of leaking `NaN`/`inf` text into the table.
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::new()
+    }
+}
+
+/// [`csv_f64`] for `f32` columns — formats at f32 precision rather than
+/// widening (which would turn `0.85` into `0.8500000238418579`).
+fn csv_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::new()
     }
 }
 
@@ -66,6 +97,7 @@ pub fn suite_report_json(report: &SuiteReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(out, "  \"schedule\": \"{}\",", report.schedule.label());
     let _ = writeln!(out, "  \"jobs\": {},", report.jobs);
     let _ = writeln!(
         out,
@@ -136,12 +168,12 @@ pub fn suite_table(results: &[TaskResult]) -> String {
 }
 
 /// Renders the one-line suite summary with the paper's reference GMeans,
-/// shared by `leopard suite` and the suite_sweep example.
-///
-/// # Panics
-///
-/// Panics if `results` is empty.
+/// shared by `leopard suite` and the suite_sweep example. An empty result
+/// set renders a "no tasks simulated" line instead of panicking.
 pub fn summary_line(results: &[TaskResult]) -> String {
+    if results.is_empty() {
+        return "no tasks simulated".to_string();
+    }
     let s = summarize(results);
     format!(
         "overall GMean: AE {:.2}x / HP {:.2}x speedup, AE {:.2}x / HP {:.2}x energy \
@@ -150,7 +182,8 @@ pub fn summary_line(results: &[TaskResult]) -> String {
     )
 }
 
-/// Renders per-task results as CSV (header + one row per task).
+/// Renders per-task results as CSV (header + one row per task). Non-finite
+/// values render as empty cells — see the module docs.
 pub fn task_results_csv(results: &[TaskResult]) -> String {
     let mut out = String::from(
         "name,sim_seq_len,measured_pruning_rate,paper_pruning_rate,mean_bits,\
@@ -162,15 +195,156 @@ pub fn task_results_csv(results: &[TaskResult]) -> String {
             "\"{}\",{},{},{},{},{},{},{},{}",
             r.name.replace('"', "\"\""),
             r.sim_seq_len,
-            r.measured_pruning_rate,
-            r.paper_pruning_rate,
-            r.mean_bits,
-            r.ae_speedup,
-            r.hp_speedup,
-            r.ae_energy_reduction,
-            r.hp_energy_reduction,
+            csv_f64(r.measured_pruning_rate),
+            csv_f32(r.paper_pruning_rate),
+            csv_f64(r.mean_bits),
+            csv_f64(r.ae_speedup),
+            csv_f64(r.hp_speedup),
+            csv_f64(r.ae_energy_reduction),
+            csv_f64(r.hp_energy_reduction),
         );
     }
+    out
+}
+
+/// Renders per-request serving results as CSV (header + one row per
+/// request, in arrival order). Every numeric column is an integer cycle
+/// count on the virtual clock, so the file is bit-identical across thread
+/// counts — the property the CI determinism check compares.
+pub fn serving_requests_csv(report: &ServingReport) -> String {
+    let mut out = String::from(
+        "request,task_id,task,arrival_cycle,start_cycle,finish_cycle,\
+         wait_cycles,service_cycles,predicted_cycles\n",
+    );
+    for r in &report.records {
+        let _ = writeln!(
+            out,
+            "{},{},\"{}\",{},{},{},{},{},{}",
+            r.id,
+            r.task_id,
+            r.task_name.replace('"', "\"\""),
+            r.arrival_cycle,
+            r.start_cycle,
+            r.finish_cycle,
+            r.wait_cycles(),
+            r.service_cycles,
+            r.predicted_cycles,
+        );
+    }
+    out
+}
+
+/// Renders a full serving report as pretty-printed JSON: run parameters,
+/// the latency percentiles, throughput, queue statistics, and one entry per
+/// request.
+pub fn serving_report_json(report: &ServingReport) -> String {
+    let latency = report.latency();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"policy\": \"{}\",", report.policy.label());
+    let _ = writeln!(out, "  \"servers\": {},", report.servers);
+    let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(out, "  \"frequency_mhz\": {},", report.frequency_mhz);
+    let _ = writeln!(out, "  \"requests\": {},", report.records.len());
+    let _ = writeln!(
+        out,
+        "  \"wall_seconds\": {},",
+        json_f64(report.wall.as_secs_f64())
+    );
+    let _ = writeln!(
+        out,
+        "  \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},",
+        json_f64(latency.p50_us),
+        json_f64(latency.p95_us),
+        json_f64(latency.p99_us),
+        json_f64(latency.max_us),
+    );
+    let _ = writeln!(
+        out,
+        "  \"throughput_rps\": {},",
+        json_f64(report.throughput_rps())
+    );
+    let _ = writeln!(
+        out,
+        "  \"queue_depth\": {{\"max\": {}, \"mean\": {}}},",
+        report.max_queue_depth(),
+        json_f64(report.mean_queue_depth()),
+    );
+    // The depth-over-time series: one [dispatch_cycle, depth] pair per
+    // dispatch, in virtual-time order.
+    let samples: Vec<String> = report
+        .queue_samples
+        .iter()
+        .map(|s| format!("[{}, {}]", s.cycle, s.depth))
+        .collect();
+    let _ = writeln!(out, "  \"queue_samples\": [{}],", samples.join(", "));
+    let _ = writeln!(
+        out,
+        "  \"workload_cache\": {{\"hits\": {}, \"misses\": {}}},",
+        report.cache.hits, report.cache.misses
+    );
+    out.push_str("  \"requests_detail\": [\n");
+    let rows: Vec<String> = report
+        .records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"id\": {}, \"task_id\": {}, \"task\": \"{}\", \"arrival_cycle\": {}, \
+                 \"start_cycle\": {}, \"finish_cycle\": {}, \"service_cycles\": {}, \
+                 \"predicted_cycles\": {}}}",
+                r.id,
+                r.task_id,
+                escape_json(&r.task_name),
+                r.arrival_cycle,
+                r.start_cycle,
+                r.finish_cycle,
+                r.service_cycles,
+                r.predicted_cycles,
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the serving console summary: one percentile row per statistic,
+/// then throughput and queue depth. An empty run renders a "no requests
+/// served" line.
+pub fn serving_summary(report: &ServingReport) -> String {
+    if report.records.is_empty() {
+        return "no requests served\n".to_string();
+    }
+    let latency = report.latency();
+    let mut out = format!(
+        "latency at the {} MHz tile clock ({} schedule, {} tiles):\n",
+        report.frequency_mhz,
+        report.policy.label(),
+        report.servers
+    );
+    for (label, value) in [
+        ("p50", latency.p50_us),
+        ("p95", latency.p95_us),
+        ("p99", latency.p99_us),
+        ("max", latency.max_us),
+    ] {
+        let _ = writeln!(out, "  {label:<4} {value:>12.2} us");
+    }
+    let _ = writeln!(
+        out,
+        "throughput: {:.0} requests/s over {:.3} ms of virtual time",
+        report.throughput_rps(),
+        report.makespan_cycles() as f64 / (f64::from(report.frequency_mhz) * 1e3),
+    );
+    let _ = writeln!(
+        out,
+        "queue depth: max {}, mean {:.1}",
+        report.max_queue_depth(),
+        report.mean_queue_depth(),
+    );
     out
 }
 
@@ -241,10 +415,115 @@ mod tests {
     }
 
     #[test]
+    fn empty_results_summarize_without_panicking() {
+        assert_eq!(summary_line(&[]), "no tasks simulated");
+    }
+
+    #[test]
     fn empty_report_is_valid() {
         let report = run_suite_parallel(&[], &PipelineOptions::default(), 1);
         let json = suite_report_json(&report);
         assert!(json.contains("\"summary\": null"));
+        assert!(json.contains("\"schedule\": \"fifo\""));
         assert!(json.contains("\"tasks\": [\n  ]"));
+    }
+
+    #[test]
+    fn non_finite_values_round_trip_as_empty_csv_cells() {
+        let mut report = small_report();
+        report.results[0].ae_speedup = f64::NAN;
+        report.results[0].hp_speedup = f64::INFINITY;
+        report.results[0].mean_bits = f64::NEG_INFINITY;
+        let csv = task_results_csv(&report.results);
+        assert!(
+            !csv.contains("NaN") && !csv.contains("inf"),
+            "non-finite text leaked into:\n{csv}"
+        );
+        // Round trip: split the poisoned row back into cells. The quoted
+        // name contains no commas here, so a plain split is exact.
+        let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(row.len(), 9, "empty cells must be preserved as columns");
+        assert_eq!(
+            row[3],
+            format!("{}", report.results[0].paper_pruning_rate),
+            "f32 column must render at f32 precision, not widened to f64"
+        );
+        assert_eq!(row[4], "", "mean_bits cell");
+        assert_eq!(row[5], "", "ae_speedup cell");
+        assert_eq!(row[6], "", "hp_speedup cell");
+        // Finite columns still parse back to their exact value.
+        assert_eq!(
+            row[2].parse::<f64>().unwrap(),
+            report.results[0].measured_pruning_rate
+        );
+        // The sibling row is untouched and fully finite.
+        let clean: Vec<&str> = csv.lines().nth(2).unwrap().split(',').collect();
+        assert!(clean[2..].iter().all(|cell| cell.parse::<f64>().is_ok()));
+    }
+
+    fn small_serving_report(policy: crate::sched::SchedulePolicy) -> ServingReport {
+        use crate::serving::{run_serving, ServingOptions};
+        let suite: Vec<_> = full_suite().into_iter().take(4).collect();
+        let runner = crate::engine::SuiteRunner::new(2);
+        run_serving(
+            &runner,
+            &suite,
+            &ServingOptions {
+                requests: 12,
+                policy,
+                pipeline: PipelineOptions {
+                    max_sim_seq_len: 24,
+                    ..PipelineOptions::default()
+                },
+                ..ServingOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serving_csv_is_integer_only_with_one_row_per_request() {
+        let report = small_serving_report(crate::sched::SchedulePolicy::Fifo);
+        let csv = serving_requests_csv(&report);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 1 + report.records.len());
+        assert!(lines[0].starts_with("request,task_id,task,arrival_cycle"));
+        for line in &lines[1..] {
+            // Every cell outside the quoted name parses as an integer.
+            for cell in line.split(',').filter(|c| !c.starts_with('"')) {
+                assert!(cell.parse::<u64>().is_ok(), "non-integer cell {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn serving_json_and_summary_render_all_sections() {
+        let report = small_serving_report(crate::sched::SchedulePolicy::Ljf);
+        let json = serving_report_json(&report);
+        for key in [
+            "\"policy\": \"ljf\"",
+            "\"latency_us\"",
+            "\"throughput_rps\"",
+            "\"queue_depth\"",
+            "\"queue_samples\"",
+            "\"requests_detail\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let summary = serving_summary(&report);
+        for needle in ["p50", "p95", "p99", "max", "throughput", "queue depth"] {
+            assert!(summary.contains(needle), "missing {needle} in:\n{summary}");
+        }
+    }
+
+    #[test]
+    fn empty_serving_report_renders_gracefully() {
+        let mut report = small_serving_report(crate::sched::SchedulePolicy::Fifo);
+        report.records.clear();
+        report.queue_samples.clear();
+        assert_eq!(serving_summary(&report), "no requests served\n");
+        let json = serving_report_json(&report);
+        assert!(json.contains("\"requests\": 0"));
+        assert!(json.contains("\"requests_detail\": [\n  ]"));
     }
 }

@@ -1,0 +1,545 @@
+//! Serving-mode engine: a continuous request stream with latency
+//! percentiles.
+//!
+//! The suite engine answers "how fast does the whole 43-task batch run?";
+//! this module answers the question accelerator papers are increasingly
+//! judged on — *served* latency. A deterministic synthetic arrival process
+//! (seeded task draws and exponential inter-arrival gaps, no wall-clock
+//! randomness) emits inference requests against the task suite; a
+//! cost-model scheduler ([`crate::sched`]) orders admission; and the engine
+//! reports p50/p95/p99/max latency, throughput, and queue depth over time.
+//!
+//! Execution happens in two phases:
+//!
+//! 1. **Execute** — every distinct task in the request mix is simulated on
+//!    the work-stealing pool (all heads on the serving tile configuration,
+//!    workloads via the shared [`WorkloadCache`](crate::cache)). This
+//!    yields each request's ground-truth *service* cycles. Simulation is a
+//!    pure function of the task, so this phase parallelizes freely.
+//! 2. **Replay** — a single-threaded discrete-event loop replays the
+//!    arrival process against `servers` virtual tiles on a virtual cycle
+//!    clock: requests are admitted at their arrival cycle, the policy picks
+//!    the next request whenever a tile frees up (ordering by *predicted*
+//!    cycles from the cost model — the scheduler never sees ground truth),
+//!    and each dispatch occupies the tile for the request's service cycles.
+//!
+//! Latency is therefore accounted in simulated cycles, not wall-clock time:
+//! worker threads only change how fast phase 1 runs, never a single number
+//! in the report. Same seed + any thread count ⇒ bit-identical per-request
+//! accounting (enforced by `tests/serving.rs`).
+
+use crate::cache::CacheStats;
+use crate::engine::SuiteRunner;
+use crate::pool::parallel_map;
+use crate::sched::{PredictedJob, ReadyQueue, SchedulePolicy};
+use leopard_accel::config::TileConfig;
+use leopard_accel::sim::simulate_head;
+use leopard_tensor::rng;
+use leopard_workloads::pipeline::{predict_serving_cycles, PipelineOptions};
+use leopard_workloads::suite::TaskDescriptor;
+use rand::Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingOptions {
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Offered load, in requests per second of virtual (tile-clock) time.
+    /// Mean inter-arrival gap = clock rate / `rate_rps` cycles.
+    pub rate_rps: f64,
+    /// Seed of the arrival process (task draws + inter-arrival gaps).
+    pub seed: u64,
+    /// Admission-ordering policy.
+    pub policy: SchedulePolicy,
+    /// Number of virtual tiles requests are dispatched onto.
+    pub servers: usize,
+    /// Workload construction knobs (sequence-length cap, heads, ...).
+    pub pipeline: PipelineOptions,
+    /// Tile configuration every request executes on.
+    pub config: TileConfig,
+}
+
+impl Default for ServingOptions {
+    /// Defaults model a saturated serving deployment: 16 accelerators of
+    /// two tiles each (32 dispatch slots) hit with an offered load well
+    /// above their capacity, so a backlog forms and the admission order
+    /// matters. In this regime longest-predicted-job-first cuts the tail
+    /// (p99/max) versus arrival order by keeping the long requests off the
+    /// end of the schedule; below saturation the queue stays shallow and
+    /// FIFO's arrival order is already near-optimal for tail latency.
+    fn default() -> Self {
+        Self {
+            requests: 256,
+            rate_rps: 100_000_000.0,
+            seed: 0x5EED_CAFE,
+            policy: SchedulePolicy::Fifo,
+            servers: 32,
+            pipeline: PipelineOptions::default(),
+            config: TileConfig::ae_leopard(),
+        }
+    }
+}
+
+/// One request of the synthetic stream, before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Request id; doubles as arrival order.
+    pub id: usize,
+    /// Index of the task drawn from the suite slice.
+    pub task_index: usize,
+    /// Arrival time on the virtual cycle clock.
+    pub arrival_cycle: u64,
+}
+
+/// Full per-request accounting after the run, on the virtual cycle clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Request id (arrival order).
+    pub id: usize,
+    /// Suite id of the task served.
+    pub task_id: usize,
+    /// Name of the task served.
+    pub task_name: String,
+    /// Arrival cycle.
+    pub arrival_cycle: u64,
+    /// Cycle the request started executing on a tile.
+    pub start_cycle: u64,
+    /// Cycle the request finished.
+    pub finish_cycle: u64,
+    /// Cycles the cost model predicted (the scheduler's view).
+    pub predicted_cycles: u64,
+    /// Ground-truth service cycles from the simulator.
+    pub service_cycles: u64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency in cycles: queueing wait plus service.
+    pub fn latency_cycles(&self) -> u64 {
+        self.finish_cycle - self.arrival_cycle
+    }
+
+    /// Cycles spent waiting in the admission queue.
+    pub fn wait_cycles(&self) -> u64 {
+        self.start_cycle - self.arrival_cycle
+    }
+}
+
+/// Queue depth observed at one dispatch instant (after the dispatched
+/// request left the queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Virtual cycle of the dispatch.
+    pub cycle: u64,
+    /// Requests still waiting.
+    pub depth: usize,
+}
+
+/// Latency percentiles in microseconds at the tile clock.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50_us: f64,
+    /// 95th-percentile latency.
+    pub p95_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+    /// Worst-case latency.
+    pub max_us: f64,
+}
+
+/// Everything a serving run produces.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// The admission policy the run used.
+    pub policy: SchedulePolicy,
+    /// Virtual tiles requests were dispatched onto.
+    pub servers: usize,
+    /// Worker threads the execution phase ran on (does not affect any
+    /// cycle-accounted field).
+    pub threads: usize,
+    /// Tile clock, for converting cycles to time.
+    pub frequency_mhz: u32,
+    /// Per-request accounting, in request-id (arrival) order.
+    pub records: Vec<RequestRecord>,
+    /// Queue depth over virtual time, one sample per dispatch.
+    pub queue_samples: Vec<QueueSample>,
+    /// Real wall-clock time of the run (execution + replay).
+    pub wall: Duration,
+    /// Workload-cache counters after the run.
+    pub cache: CacheStats,
+}
+
+impl ServingReport {
+    /// Nearest-rank latency percentiles over all requests. All zeros when
+    /// the run served no requests.
+    pub fn latency(&self) -> LatencySummary {
+        if self.records.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut latencies: Vec<u64> = self.records.iter().map(|r| r.latency_cycles()).collect();
+        latencies.sort_unstable();
+        let us = |cycles: u64| cycles as f64 / f64::from(self.frequency_mhz);
+        let rank = |p: f64| {
+            let n = latencies.len();
+            let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+            latencies[idx]
+        };
+        LatencySummary {
+            p50_us: us(rank(50.0)),
+            p95_us: us(rank(95.0)),
+            p99_us: us(rank(99.0)),
+            max_us: us(*latencies.last().expect("non-empty")),
+        }
+    }
+
+    /// Virtual cycle at which the last request finished.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.finish_cycle)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Served throughput in requests per second of virtual time.
+    pub fn throughput_rps(&self) -> f64 {
+        let makespan = self.makespan_cycles();
+        if makespan == 0 {
+            return 0.0;
+        }
+        let seconds = makespan as f64 / (f64::from(self.frequency_mhz) * 1e6);
+        self.records.len() as f64 / seconds
+    }
+
+    /// Deepest the admission queue ever got (at a dispatch instant).
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_samples
+            .iter()
+            .map(|s| s.depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean queue depth over dispatch instants.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_samples.is_empty() {
+            return 0.0;
+        }
+        self.queue_samples.iter().map(|s| s.depth).sum::<usize>() as f64
+            / self.queue_samples.len() as f64
+    }
+}
+
+/// Generates the deterministic request stream: seeded uniform task draws
+/// and seeded exponential inter-arrival gaps at the offered rate. Pure
+/// function of `(suite length, options)` — no wall-clock randomness.
+///
+/// # Panics
+///
+/// Panics if `suite` is empty or the rate is not positive.
+pub fn generate_requests(suite: &[TaskDescriptor], options: &ServingOptions) -> Vec<Request> {
+    assert!(!suite.is_empty(), "serving needs at least one task to draw");
+    assert!(
+        options.rate_rps > 0.0 && options.rate_rps.is_finite(),
+        "arrival rate must be positive and finite"
+    );
+    let mut r = rng::seeded(options.seed);
+    let mean_gap_cycles = f64::from(options.config.frequency_mhz) * 1e6 / options.rate_rps;
+    let mut arrival = 0.0f64;
+    (0..options.requests)
+        .map(|id| {
+            let task_index = r.gen_range(0..suite.len());
+            // Exponential gap via inverse CDF; 1 - u keeps the argument in
+            // (0, 1] so ln never sees zero.
+            let u: f64 = r.gen();
+            arrival += -mean_gap_cycles * (1.0 - u).ln();
+            Request {
+                id,
+                task_index,
+                arrival_cycle: arrival.round() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Runs a serving workload on the runner's pool and cache and returns the
+/// full cycle-accounted report. See the module docs for the two-phase
+/// design; the short version is that `runner.threads()` changes only
+/// [`ServingReport::wall`].
+///
+/// # Panics
+///
+/// Panics if `suite` is empty, the rate is not positive, or
+/// `options.servers` is zero.
+pub fn run_serving(
+    runner: &SuiteRunner,
+    suite: &[TaskDescriptor],
+    options: &ServingOptions,
+) -> ServingReport {
+    assert!(options.servers > 0, "serving needs at least one tile");
+    let start = Instant::now();
+    let requests = generate_requests(suite, options);
+
+    // --- Phase 1: execute. Ground-truth service cycles per *distinct* task
+    // (requests repeating a task share the result), in parallel on the pool.
+    let mut used: Vec<usize> = requests.iter().map(|r| r.task_index).collect();
+    used.sort_unstable();
+    used.dedup();
+    let cache = Arc::clone(runner.cache());
+    let pipeline = options.pipeline;
+    let config = options.config;
+    let tasks: Vec<TaskDescriptor> = used.iter().map(|&i| suite[i].clone()).collect();
+    let service: Vec<u64> = parallel_map(runner.pool(), tasks, move |_, task| {
+        (0..pipeline.heads.max(1))
+            .map(|head| {
+                let workload = cache.head_workload(task, &pipeline, head);
+                simulate_head(&workload, &config).total_cycles
+            })
+            .sum()
+    });
+    let service_of = |task_index: usize| -> u64 {
+        service[used.binary_search(&task_index).expect("task was executed")]
+    };
+
+    // --- Phase 2: replay the arrival process in virtual time.
+    let predicted: Vec<u64> = requests
+        .iter()
+        .map(|r| predict_serving_cycles(&suite[r.task_index], &options.pipeline, &options.config))
+        .collect();
+    let mut ready = ReadyQueue::new(options.policy);
+    let mut tile_free_at = vec![0u64; options.servers];
+    let mut next_arrival = 0usize;
+    let mut records: Vec<Option<RequestRecord>> = vec![None; requests.len()];
+    let mut queue_samples = Vec::with_capacity(requests.len());
+
+    // Event loop on a monotone virtual clock. At each clock value: dispatch
+    // ready requests onto every tile already free (ties toward the lower
+    // tile index, so the replay is deterministic), then advance the clock
+    // to the next event — the earlier of the next arrival and the next
+    // tile-free instant. Arrivals are always admitted before a later
+    // dispatch is decided, so the policy sees exactly the requests that
+    // have arrived by dispatch time, never more.
+    let mut clock = 0u64;
+    loop {
+        while !ready.is_empty() {
+            let (tile, free_at) = tile_free_at
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(index, free)| (free, index))
+                .expect("at least one tile");
+            if free_at > clock {
+                break;
+            }
+            let job = ready.pop().expect("queue checked non-empty");
+            let request = requests[job.index];
+            let task = &suite[request.task_index];
+            let service_cycles = service_of(request.task_index);
+            let finish = clock + service_cycles;
+            tile_free_at[tile] = finish;
+            queue_samples.push(QueueSample {
+                cycle: clock,
+                depth: ready.len(),
+            });
+            records[job.index] = Some(RequestRecord {
+                id: request.id,
+                task_id: task.id,
+                task_name: task.name.clone(),
+                arrival_cycle: request.arrival_cycle,
+                start_cycle: clock,
+                finish_cycle: finish,
+                predicted_cycles: job.predicted_cycles,
+                service_cycles,
+            });
+        }
+        // Advance to the next event.
+        let next_free = tile_free_at
+            .iter()
+            .copied()
+            .min()
+            .expect("at least one tile");
+        let admit_until = match (next_arrival < requests.len(), ready.is_empty()) {
+            // Arrivals remain: take the next one unless a tile frees first
+            // while work is already queued.
+            (true, true) => requests[next_arrival].arrival_cycle,
+            (true, false) => requests[next_arrival].arrival_cycle.min(next_free),
+            // No arrivals left: drain the queue as tiles free up.
+            (false, false) => next_free,
+            (false, true) => break,
+        };
+        clock = clock.max(admit_until);
+        while next_arrival < requests.len() && requests[next_arrival].arrival_cycle <= clock {
+            let request = requests[next_arrival];
+            ready.push(PredictedJob {
+                index: request.id,
+                predicted_cycles: predicted[request.id],
+            });
+            next_arrival += 1;
+        }
+    }
+
+    ServingReport {
+        policy: options.policy,
+        servers: options.servers,
+        threads: runner.threads(),
+        frequency_mhz: options.config.frequency_mhz,
+        records: records
+            .into_iter()
+            .map(|r| r.expect("every request dispatches exactly once"))
+            .collect(),
+        queue_samples,
+        wall: start.elapsed(),
+        cache: runner.cache().stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_workloads::suite::full_suite;
+
+    fn quick_options() -> ServingOptions {
+        ServingOptions {
+            requests: 40,
+            pipeline: PipelineOptions {
+                max_sim_seq_len: 24,
+                ..PipelineOptions::default()
+            },
+            ..ServingOptions::default()
+        }
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_monotone() {
+        let suite = full_suite();
+        let options = quick_options();
+        let a = generate_requests(&suite, &options);
+        let b = generate_requests(&suite, &options);
+        assert_eq!(a, b);
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival_cycle <= pair[1].arrival_cycle);
+        }
+        let other_seed = generate_requests(&suite, &ServingOptions { seed: 1, ..options });
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn replay_conserves_every_request_and_respects_causality() {
+        let suite: Vec<_> = full_suite().into_iter().take(6).collect();
+        let runner = SuiteRunner::new(2);
+        let report = run_serving(&runner, &suite, &quick_options());
+        assert_eq!(report.records.len(), 40);
+        for (id, record) in report.records.iter().enumerate() {
+            assert_eq!(record.id, id);
+            assert!(record.start_cycle >= record.arrival_cycle);
+            assert_eq!(
+                record.finish_cycle,
+                record.start_cycle + record.service_cycles
+            );
+            assert!(record.service_cycles > 0);
+            assert!(record.predicted_cycles > 0);
+        }
+        // No tile ever runs two requests at once.
+        let mut busy: Vec<(u64, u64)> = report
+            .records
+            .iter()
+            .map(|r| (r.start_cycle, r.finish_cycle))
+            .collect();
+        busy.sort_unstable();
+        let mut active: Vec<u64> = Vec::new();
+        for (start, finish) in busy {
+            active.retain(|&f| f > start);
+            active.push(finish);
+            assert!(active.len() <= report.servers, "overlap beyond tile count");
+        }
+    }
+
+    #[test]
+    fn idle_tiles_never_start_a_request_before_it_arrives() {
+        // Regression: with many tiles, a request admitted during an arrival
+        // jump used to be dispatched on a tile whose free instant was still
+        // in the past, i.e. before the request existed.
+        let suite = full_suite();
+        let runner = SuiteRunner::new(2);
+        let options = ServingOptions {
+            rate_rps: 2e6,
+            servers: 32,
+            ..ServingOptions::default()
+        };
+        let report = run_serving(&runner, &suite, &options);
+        for record in &report.records {
+            assert!(
+                record.start_cycle >= record.arrival_cycle,
+                "request {} started at {} before arriving at {}",
+                record.id,
+                record.start_cycle,
+                record.arrival_cycle
+            );
+        }
+    }
+
+    #[test]
+    fn latency_summary_is_ordered_and_throughput_positive() {
+        let suite: Vec<_> = full_suite().into_iter().take(4).collect();
+        let runner = SuiteRunner::new(1);
+        let report = run_serving(&runner, &suite, &quick_options());
+        let latency = report.latency();
+        assert!(latency.p50_us > 0.0);
+        assert!(latency.p50_us <= latency.p95_us);
+        assert!(latency.p95_us <= latency.p99_us);
+        assert!(latency.p99_us <= latency.max_us);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(report.max_queue_depth() >= report.mean_queue_depth() as usize);
+    }
+
+    #[test]
+    fn zero_requests_produce_an_empty_but_valid_report() {
+        let suite: Vec<_> = full_suite().into_iter().take(2).collect();
+        let runner = SuiteRunner::new(1);
+        let report = run_serving(
+            &runner,
+            &suite,
+            &ServingOptions {
+                requests: 0,
+                ..quick_options()
+            },
+        );
+        assert!(report.records.is_empty());
+        assert_eq!(report.latency(), LatencySummary::default());
+        assert_eq!(report.throughput_rps(), 0.0);
+        assert_eq!(report.max_queue_depth(), 0);
+    }
+
+    #[test]
+    fn scheduler_sees_predictions_not_ground_truth() {
+        // Under LJF the dispatch order must follow predicted cycles even
+        // where they disagree with the measured service cycles.
+        let suite: Vec<_> = full_suite().into_iter().take(8).collect();
+        let runner = SuiteRunner::new(2);
+        let options = ServingOptions {
+            policy: SchedulePolicy::Ljf,
+            // A true batch: inter-arrival gaps all round to cycle zero.
+            rate_rps: 1e15,
+            ..quick_options()
+        };
+        let report = run_serving(&runner, &suite, &options);
+        let mut by_start: Vec<&RequestRecord> = report.records.iter().collect();
+        by_start.sort_by_key(|r| (r.start_cycle, r.id));
+        // The first `servers` dispatches happen at cycle 0; after that,
+        // predicted cycles must be non-increasing among same-instant picks.
+        let first_wave: Vec<u64> = by_start
+            .iter()
+            .take(report.servers)
+            .map(|r| r.predicted_cycles)
+            .collect();
+        let overall_max = report
+            .records
+            .iter()
+            .map(|r| r.predicted_cycles)
+            .max()
+            .unwrap();
+        assert!(first_wave.contains(&overall_max));
+    }
+}

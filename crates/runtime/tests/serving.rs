@@ -1,0 +1,146 @@
+//! Integration tests for the serving-mode engine's headline guarantees:
+//!
+//! 1. **Determinism** — same seed + any thread count ⇒ bit-identical
+//!    per-request cycle accounting (the rendered CSV is compared wholesale,
+//!    which is exactly what the CI smoke check does with the binary).
+//! 2. **Scheduling wins** — at the default (backlogged) operating point,
+//!    longest-predicted-job-first reports lower p99 latency than FIFO on
+//!    the same seed.
+//! 3. Suite scheduling is latency-only: `--schedule ljf` never changes a
+//!    suite result.
+
+use leopard_runtime::engine::SuiteRunner;
+use leopard_runtime::report::serving_requests_csv;
+use leopard_runtime::sched::SchedulePolicy;
+use leopard_runtime::serving::{run_serving, ServingOptions};
+use leopard_workloads::pipeline::PipelineOptions;
+use leopard_workloads::suite::{full_suite, TaskDescriptor};
+
+/// Serving options scaled down for debug-build test speed; the operating
+/// point (backlog regime) matches the CLI defaults.
+fn reduced_options() -> ServingOptions {
+    ServingOptions {
+        requests: 128,
+        pipeline: PipelineOptions {
+            max_sim_seq_len: 48,
+            ..PipelineOptions::default()
+        },
+        ..ServingOptions::default()
+    }
+}
+
+fn reduced_suite() -> Vec<TaskDescriptor> {
+    full_suite()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 == 0)
+        .map(|(_, t)| t)
+        .collect()
+}
+
+#[test]
+fn per_request_accounting_is_identical_across_thread_counts() {
+    let suite = reduced_suite();
+    for policy in SchedulePolicy::ALL {
+        let options = ServingOptions {
+            policy,
+            ..reduced_options()
+        };
+        let reference = serving_requests_csv(&run_serving(&SuiteRunner::new(1), &suite, &options));
+        for threads in [2usize, 4] {
+            let report = run_serving(&SuiteRunner::new(threads), &suite, &options);
+            assert_eq!(report.threads, threads);
+            assert_eq!(
+                serving_requests_csv(&report),
+                reference,
+                "{threads}-thread {} serving run diverged from single-threaded accounting",
+                policy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_on_a_warm_cache_are_identical() {
+    let suite = reduced_suite();
+    let runner = SuiteRunner::new(2);
+    let options = reduced_options();
+    let cold = run_serving(&runner, &suite, &options);
+    let warm = run_serving(&runner, &suite, &options);
+    assert_eq!(
+        serving_requests_csv(&cold),
+        serving_requests_csv(&warm),
+        "cache reuse must not change cycle accounting"
+    );
+    assert!(warm.cache.hits > cold.cache.hits);
+}
+
+#[test]
+fn ljf_reports_lower_p99_than_fifo_at_the_default_operating_point() {
+    // The acceptance criterion of the serving engine, at the CLI defaults:
+    // 256 requests, default seed/rate/servers, full suite. Both runs share
+    // one runner so the second reuses every cached workload.
+    let suite = full_suite();
+    let runner = SuiteRunner::new(2);
+    let fifo = run_serving(
+        &runner,
+        &suite,
+        &ServingOptions {
+            policy: SchedulePolicy::Fifo,
+            ..ServingOptions::default()
+        },
+    );
+    let ljf = run_serving(
+        &runner,
+        &suite,
+        &ServingOptions {
+            policy: SchedulePolicy::Ljf,
+            ..ServingOptions::default()
+        },
+    );
+    // Same stream either way: identical arrivals and service cycles.
+    assert_eq!(
+        fifo.records
+            .iter()
+            .map(|r| r.arrival_cycle)
+            .collect::<Vec<_>>(),
+        ljf.records
+            .iter()
+            .map(|r| r.arrival_cycle)
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        fifo.records
+            .iter()
+            .map(|r| r.service_cycles)
+            .collect::<Vec<_>>(),
+        ljf.records
+            .iter()
+            .map(|r| r.service_cycles)
+            .collect::<Vec<_>>(),
+    );
+    let (fifo_lat, ljf_lat) = (fifo.latency(), ljf.latency());
+    assert!(
+        ljf_lat.p99_us < fifo_lat.p99_us,
+        "LJF p99 {:.2}us must beat FIFO p99 {:.2}us in the backlog regime",
+        ljf_lat.p99_us,
+        fifo_lat.p99_us
+    );
+    assert!(ljf_lat.max_us <= fifo_lat.max_us);
+}
+
+#[test]
+fn suite_schedule_is_latency_only() {
+    let tasks = reduced_suite();
+    let options = PipelineOptions {
+        max_sim_seq_len: 32,
+        ..PipelineOptions::default()
+    };
+    let runner = SuiteRunner::new(4);
+    let fifo = runner.run_scheduled(&tasks, &options, SchedulePolicy::Fifo);
+    let ljf = runner.run_scheduled(&tasks, &options, SchedulePolicy::Ljf);
+    assert_eq!(
+        fifo.results, ljf.results,
+        "admission order must never change what a suite run computes"
+    );
+}

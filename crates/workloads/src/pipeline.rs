@@ -177,6 +177,49 @@ pub fn head_seed(task: &TaskDescriptor, head: usize) -> u64 {
     task.seed().wrapping_add(head as u64 * 7919)
 }
 
+/// Predicted cycles for one simulation unit of a task (one head on one tile
+/// configuration), from the analytical cost model — no simulation runs. The
+/// paper-reported pruning rate stands in for the measured one, which is what
+/// makes the prediction available *before* execution, on a scheduling path.
+pub fn predict_unit_cycles(
+    task: &TaskDescriptor,
+    options: &PipelineOptions,
+    kind: SimUnitKind,
+) -> u64 {
+    leopard_accel::cost::predict_head_cycles(
+        &kind.tile_config(),
+        sim_seq_len(task, options),
+        task.paper_pruning_rate as f64,
+    )
+}
+
+/// Predicted cycles for a task's full suite workload: every head simulated
+/// on every configuration in [`SimUnitKind::ALL`]. The longest-job-first
+/// suite scheduler orders task submission by this quantity.
+pub fn predict_task_cycles(task: &TaskDescriptor, options: &PipelineOptions) -> u64 {
+    options.heads.max(1) as u64
+        * SimUnitKind::ALL
+            .iter()
+            .map(|&kind| predict_unit_cycles(task, options, kind))
+            .sum::<u64>()
+}
+
+/// Predicted cycles to serve one inference request for this task (all heads
+/// on the single serving configuration `config`), used by the serving-mode
+/// admission scheduler in `leopard-runtime`.
+pub fn predict_serving_cycles(
+    task: &TaskDescriptor,
+    options: &PipelineOptions,
+    config: &TileConfig,
+) -> u64 {
+    leopard_accel::cost::predict_request_cycles(
+        config,
+        sim_seq_len(task, options),
+        options.heads,
+        task.paper_pruning_rate as f64,
+    )
+}
+
 /// Builds the quantized simulator workload for one head of one task:
 /// synthesize correlated Q/K, place the threshold at the paper's
 /// pruning-rate quantile, quantize. This is the (memoizable) construction
@@ -483,6 +526,28 @@ mod tests {
         }
         let decomposed = aggregate_task(task, &options, &heads);
         assert_eq!(direct, decomposed);
+    }
+
+    #[test]
+    fn predicted_task_cycles_order_matches_sequence_lengths() {
+        let suite = full_suite();
+        let options = quick_options();
+        // MemN2N (short sequences, heavy pruning) must be predicted cheaper
+        // than BERT-Large SQuAD (long sequences, moderate pruning).
+        let memn2n = predict_task_cycles(&suite[0], &options);
+        let squad = suite
+            .iter()
+            .find(|t| t.name == "BERT-L SQuAD")
+            .expect("suite task");
+        assert!(predict_task_cycles(squad, &options) > memn2n);
+        // Serving prediction covers exactly one configuration, so it is
+        // strictly below the four-unit suite prediction.
+        let serving = predict_serving_cycles(&suite[0], &options, &TileConfig::ae_leopard());
+        assert!(serving < memn2n);
+        assert_eq!(
+            serving,
+            predict_unit_cycles(&suite[0], &options, SimUnitKind::AeLeopard)
+        );
     }
 
     #[test]

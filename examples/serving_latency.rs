@@ -1,0 +1,72 @@
+//! Serving-mode latency comparison: replay the same deterministic request
+//! stream under FIFO and longest-predicted-job-first admission and print
+//! the latency percentiles side by side.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serving_latency [-- --threads N]
+//! ```
+//!
+//! Latency is accounted on the virtual tile-clock, so the numbers are
+//! bit-identical for every thread count; only the wall-clock time changes.
+//! The default operating point oversubscribes the virtual tiles (a backlog
+//! forms), which is the regime where admission order matters — LJF keeps
+//! the long requests off the end of the schedule and cuts the tail.
+
+use leopard::runtime::serving::{run_serving, ServingOptions};
+use leopard::runtime::{SchedulePolicy, SuiteRunner};
+use leopard::workloads::suite::full_suite;
+use leopard_bench::harness_threads;
+
+fn main() {
+    let threads = harness_threads(); // --threads N or LEOPARD_THREADS; 0 = all cores
+    let suite = full_suite();
+    let runner = SuiteRunner::new(threads);
+    let base = ServingOptions::default();
+    println!(
+        "serving {} requests at {:.0} req/s on {} virtual tiles (seed {:#x}), {} worker threads",
+        base.requests,
+        base.rate_rps,
+        base.servers,
+        base.seed,
+        runner.threads()
+    );
+
+    let mut rows = Vec::new();
+    for policy in SchedulePolicy::ALL {
+        let report = run_serving(
+            &runner,
+            &suite,
+            &ServingOptions {
+                policy,
+                ..base.clone()
+            },
+        );
+        rows.push((policy, report.latency(), report.max_queue_depth()));
+    }
+
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "schedule", "p50 us", "p95 us", "p99 us", "max us", "max queue"
+    );
+    for (policy, latency, depth) in &rows {
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10}",
+            policy.label(),
+            latency.p50_us,
+            latency.p95_us,
+            latency.p99_us,
+            latency.max_us,
+            depth
+        );
+    }
+
+    let (_, fifo, _) = rows[0];
+    let (_, ljf, _) = rows[1];
+    println!(
+        "\nlongest-job-first vs arrival order: p99 {:+.1}%, max {:+.1}%",
+        (ljf.p99_us / fifo.p99_us - 1.0) * 100.0,
+        (ljf.max_us / fifo.max_us - 1.0) * 100.0,
+    );
+}

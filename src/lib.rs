@@ -18,7 +18,7 @@
 //! | [`quant`] | `leopard-quant` | fixed-point quantization, sign-magnitude, bit planes |
 //! | [`accel`] | `leopard-accel` | cycle-level tile simulator, energy/area models, Table 2 |
 //! | [`workloads`] | `leopard-workloads` | the 43-task suite and end-to-end pipeline |
-//! | [`runtime`] | `leopard-runtime` | parallel suite-execution engine, workload cache, `leopard` CLI |
+//! | [`runtime`] | `leopard-runtime` | parallel suite-execution engine, serving-mode engine, cost-model scheduler, `leopard` CLI |
 //!
 //! # Quickstart
 //!
