@@ -81,27 +81,248 @@ pub fn head_cost(workload: &HeadWorkload, config: &TileConfig, model: &EnergyMod
 }
 
 /// Fraction of a pruned dot product's serial steps the early-termination
-/// logic is assumed to save, on average, by the analytical predictor. The
-/// exact saving depends on the score distribution; roughly half the
-/// magnitude bits matches the Figure 8 bit profiles across the suite.
-const EARLY_TERMINATION_SAVING: f64 = 0.45;
+/// logic is assumed to save, on average, when nothing has been measured
+/// yet. The exact saving depends on the score distribution; roughly half
+/// the magnitude bits matches the Figure 8 bit profiles across the suite.
+/// Fitted per-family constants ([`CostModel::fit_from_results`]) replace
+/// this default wherever a measured bit profile exists.
+const DEFAULT_EARLY_TERMINATION_SAVING: f64 = 0.45;
 
-/// Predicts the cycles one attention head of sequence length `seq_len`
-/// needs on `config`, **without running the simulator** — pure arithmetic
-/// over the tile parameters and an expected pruning rate, cheap enough to
-/// call per request on a serving admission path.
+/// One calibration observation for [`CostModel::fit_from_results`]: a
+/// measured simulation result plus the workload context it was measured
+/// under (the simulator result alone does not record its configuration or
+/// sequence length).
+#[derive(Debug, Clone, Copy)]
+pub struct FitObservation<'a> {
+    /// Task-family label the observation belongs to.
+    pub family: &'a str,
+    /// The measured simulation result (bit profile + total cycles).
+    pub result: &'a HeadSimResult,
+    /// Tile configuration the result was measured on.
+    pub config: &'a TileConfig,
+    /// Sequence length of the measured workload.
+    pub seq_len: usize,
+}
+
+/// Per-family constants of the fitted cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FamilyFit {
+    /// Early-termination saving read off the pruned bit profile.
+    saving: f64,
+    /// Multiplicative calibration: measured cycles over the analytical
+    /// prediction at the calibration point.
+    scale: f64,
+}
+
+/// Analytical cycle predictor with per-task-family constants fitted from
+/// measured bit profiles.
 ///
-/// The model mirrors the simulator's timing structure: per Q row the
-/// front-end distributes `seq_len` dot products over the `N_QK` DPUs (a
-/// full dot costs [`TileConfig::full_dot_cycles`]; with early termination a
-/// pruned dot stops after roughly half its serial steps), the back-end
-/// consumes one surviving score per cycle, and rows pipeline so each costs
-/// the maximum of the two stages.
+/// The predictor itself is pure arithmetic over the tile parameters (see
+/// [`CostModel::predict_head_cycles`]); the empirical quantities it needs
+/// are per task family, fitted by [`CostModel::fit_from_results`]:
 ///
-/// `pruning_rate` is the expected fraction of scores below the threshold
-/// (clamped to `[0, 1]`); it is ignored by configurations that do not
-/// prune.
-pub fn predict_head_cycles(config: &TileConfig, seq_len: usize, pruning_rate: f64) -> u64 {
+/// * the **early-termination saving** — how much of a pruned dot product's
+///   serial steps stopping early saves. It varies by family (MemN2N scores
+///   collapse within a couple of magnitude bits while ViT scores need most
+///   of them) and is read directly off the measured pruned-bit profile;
+/// * a **calibration scale** — the ratio of measured to analytically
+///   predicted cycles at the calibration point, absorbing the pipeline
+///   second-order effects (row drains, FIFO stalls) the closed-form model
+///   leaves out.
+///
+/// Families that were never fitted fall back to a flat default saving and
+/// unit scale — the pre-fit analytical model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// `(family label, fitted constants)` pairs, one per fitted family.
+    fits: Vec<(String, FamilyFit)>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::analytical()
+    }
+}
+
+impl CostModel {
+    /// The unfitted model: every family uses the flat analytical default
+    /// (~45% of a pruned dot's serial steps saved, unit scale).
+    pub fn analytical() -> Self {
+        Self { fits: Vec::new() }
+    }
+
+    /// Fits the per-family constants from measured simulation results.
+    ///
+    /// For every observation the saving is read off the pruned bit
+    /// profile: a dot pruned after `b` of the `W` magnitude bits saved
+    /// `1 - b/W` of its serial steps, so the family's saving is the
+    /// histogram-weighted mean of that quantity. The calibration scale is
+    /// the mean ratio of measured cycles to the analytical prediction
+    /// (under the fitted saving, at the observation's measured pruning
+    /// rate). Multiple observations under the same label are pooled.
+    /// Observations whose profile recorded no pruned dot contribute only
+    /// to the scale; a family with no observation keeps the analytical
+    /// default.
+    pub fn fit_from_results<'a, I>(observations: I) -> Self
+    where
+        I: IntoIterator<Item = FitObservation<'a>>,
+    {
+        // Pool per label, preserving first-seen label order so the fit is
+        // deterministic for any input order of equal content.
+        struct Pool<'a> {
+            label: String,
+            histogram: Vec<u64>,
+            observations: Vec<FitObservation<'a>>,
+        }
+        let mut pools: Vec<Pool<'a>> = Vec::new();
+        for observation in observations {
+            let pool = match pools.iter_mut().find(|p| p.label == observation.family) {
+                Some(pool) => pool,
+                None => {
+                    pools.push(Pool {
+                        label: observation.family.to_string(),
+                        histogram: Vec::new(),
+                        observations: Vec::new(),
+                    });
+                    pools.last_mut().expect("just pushed")
+                }
+            };
+            let profile = &observation.result.pruned_bits_histogram;
+            if pool.histogram.len() < profile.len() {
+                pool.histogram.resize(profile.len(), 0);
+            }
+            for (slot, &count) in pool.histogram.iter_mut().zip(profile) {
+                *slot += count;
+            }
+            pool.observations.push(observation);
+        }
+        let fits = pools
+            .into_iter()
+            .map(|pool| {
+                let saving = saving_from_pruned_bits(&pool.histogram)
+                    .unwrap_or(DEFAULT_EARLY_TERMINATION_SAVING);
+                // Scale: mean measured/analytical ratio over observations,
+                // clamped against degenerate calibration workloads.
+                let ratios: Vec<f64> = pool
+                    .observations
+                    .iter()
+                    .map(|o| {
+                        let analytical = predict_head_cycles_with(
+                            o.config,
+                            o.seq_len,
+                            o.result.pruning_rate(),
+                            saving,
+                            1.0,
+                        );
+                        o.result.total_cycles as f64 / analytical as f64
+                    })
+                    .collect();
+                let scale = (ratios.iter().sum::<f64>() / ratios.len() as f64).clamp(0.25, 4.0);
+                (pool.label, FamilyFit { saving, scale })
+            })
+            .collect();
+        Self { fits }
+    }
+
+    fn fit(&self, family: &str) -> FamilyFit {
+        self.fits.iter().find(|(label, _)| label == family).map_or(
+            FamilyFit {
+                saving: DEFAULT_EARLY_TERMINATION_SAVING,
+                scale: 1.0,
+            },
+            |(_, fit)| *fit,
+        )
+    }
+
+    /// The early-termination saving used for `family`: the fitted constant
+    /// if one exists, the analytical default otherwise.
+    pub fn saving(&self, family: &str) -> f64 {
+        self.fit(family).saving
+    }
+
+    /// The calibration scale used for `family` (`1.0` when unfitted).
+    pub fn scale(&self, family: &str) -> f64 {
+        self.fit(family).scale
+    }
+
+    /// Number of families with a fitted (non-default) entry.
+    pub fn fitted_families(&self) -> usize {
+        self.fits.len()
+    }
+
+    /// Predicts the cycles one attention head of sequence length `seq_len`
+    /// of a `family` task needs on `config`, **without running the
+    /// simulator** — pure arithmetic over the tile parameters, an expected
+    /// pruning rate, and the family's fitted constants; cheap enough to
+    /// call per request on a serving admission path.
+    ///
+    /// The model mirrors the simulator's timing structure: per Q row the
+    /// front-end distributes `seq_len` dot products over the `N_QK` DPUs (a
+    /// full dot costs [`TileConfig::full_dot_cycles`]; with early
+    /// termination a pruned dot stops after the family's fitted fraction of
+    /// its serial steps), the back-end consumes one surviving score per
+    /// cycle, and rows pipeline so each costs the maximum of the two
+    /// stages; the family's calibration scale then absorbs what the closed
+    /// form leaves out.
+    ///
+    /// `pruning_rate` is the expected fraction of scores below the
+    /// threshold (clamped to `[0, 1]`); it is ignored by configurations
+    /// that do not prune.
+    pub fn predict_head_cycles(
+        &self,
+        family: &str,
+        config: &TileConfig,
+        seq_len: usize,
+        pruning_rate: f64,
+    ) -> u64 {
+        let fit = self.fit(family);
+        predict_head_cycles_with(config, seq_len, pruning_rate, fit.saving, fit.scale)
+    }
+
+    /// Predicts the cycles a whole inference request of a `family` task
+    /// (all `heads` attention heads of one layer, executed sequentially on
+    /// one tile) needs on `config`. This is the quantity the cost-model
+    /// scheduler and SLO admission controller in `leopard-runtime` act on.
+    pub fn predict_request_cycles(
+        &self,
+        family: &str,
+        config: &TileConfig,
+        seq_len: usize,
+        heads: usize,
+        pruning_rate: f64,
+    ) -> u64 {
+        heads.max(1) as u64 * self.predict_head_cycles(family, config, seq_len, pruning_rate)
+    }
+}
+
+/// Mean fraction of serial steps saved over the pruned dots of a bit
+/// profile: a dot that stopped after `b` of `W` magnitude bits saved
+/// `1 - b/W`. Returns `None` when the histogram recorded no pruned dot
+/// (nothing to fit from).
+fn saving_from_pruned_bits(histogram: &[u64]) -> Option<f64> {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 || histogram.len() < 2 {
+        return None;
+    }
+    let width = (histogram.len() - 1) as f64;
+    let weighted: u64 = histogram
+        .iter()
+        .enumerate()
+        .map(|(bits, &count)| bits as u64 * count)
+        .sum();
+    let mean_bits = weighted as f64 / total as f64;
+    Some((1.0 - mean_bits / width).clamp(0.0, 1.0))
+}
+
+/// [`CostModel::predict_head_cycles`] with explicit constants — the shared
+/// arithmetic core of every prediction path.
+fn predict_head_cycles_with(
+    config: &TileConfig,
+    seq_len: usize,
+    pruning_rate: f64,
+    saving: f64,
+    scale: f64,
+) -> u64 {
     let s = seq_len.max(1) as f64;
     let rate = if config.pruning_enabled {
         pruning_rate.clamp(0.0, 1.0)
@@ -110,7 +331,7 @@ pub fn predict_head_cycles(config: &TileConfig, seq_len: usize, pruning_rate: f6
     };
     let full_dot = f64::from(config.full_dot_cycles());
     let dot_cycles = if config.early_termination {
-        full_dot * (1.0 - rate * EARLY_TERMINATION_SAVING)
+        full_dot * (1.0 - rate * saving.clamp(0.0, 1.0))
     } else {
         full_dot
     };
@@ -120,20 +341,42 @@ pub fn predict_head_cycles(config: &TileConfig, seq_len: usize, pruning_rate: f6
     // Rows pipeline: steady state advances at the slower stage's pace, plus
     // one drain of the faster stage at the end.
     let cycles = s * frontend_row.max(backend_row) + frontend_row.min(backend_row);
-    (cycles.round() as u64).max(1)
+    ((cycles * scale).round() as u64).max(1)
+}
+
+/// Predicts the cycles one attention head of sequence length `seq_len`
+/// needs on `config` under the flat analytical saving — the family-agnostic
+/// convenience form of [`CostModel::predict_head_cycles`].
+pub fn predict_head_cycles(config: &TileConfig, seq_len: usize, pruning_rate: f64) -> u64 {
+    CostModel::analytical().predict_head_cycles("", config, seq_len, pruning_rate)
 }
 
 /// Predicts the cycles a whole inference request (all `heads` attention
 /// heads of one layer, executed sequentially on one tile) needs on
-/// `config`. This is the quantity the cost-model scheduler in
-/// `leopard-runtime` orders admission by.
+/// `config`, under the flat analytical saving — the family-agnostic
+/// convenience form of [`CostModel::predict_request_cycles`].
+///
+/// # Examples
+///
+/// ```
+/// use leopard_accel::config::TileConfig;
+/// use leopard_accel::cost::predict_request_cycles;
+///
+/// let config = TileConfig::ae_leopard();
+/// // Twelve heads cost exactly twelve times one head: heads execute
+/// // sequentially on one tile.
+/// let one = predict_request_cycles(&config, 96, 1, 0.8);
+/// assert_eq!(predict_request_cycles(&config, 96, 12, 0.8), 12 * one);
+/// // Heavier pruning means fewer cycles on a pruning-enabled tile.
+/// assert!(predict_request_cycles(&config, 96, 1, 0.9) < one);
+/// ```
 pub fn predict_request_cycles(
     config: &TileConfig,
     seq_len: usize,
     heads: usize,
     pruning_rate: f64,
 ) -> u64 {
-    heads.max(1) as u64 * predict_head_cycles(config, seq_len, pruning_rate)
+    CostModel::analytical().predict_request_cycles("", config, seq_len, heads, pruning_rate)
 }
 
 #[cfg(test)]
@@ -230,6 +473,131 @@ mod tests {
         // Degenerate inputs clamp instead of panicking.
         assert_eq!(predict_request_cycles(&cfg, 48, 0, 0.6), one);
         assert!(predict_head_cycles(&cfg, 0, 2.0) >= 1);
+    }
+
+    fn observe<'a>(
+        family: &'a str,
+        result: &'a HeadSimResult,
+        config: &'a TileConfig,
+    ) -> FitObservation<'a> {
+        FitObservation {
+            family,
+            result,
+            config,
+            seq_len: 24,
+        }
+    }
+
+    #[test]
+    fn fitted_model_reads_savings_off_the_bit_profile() {
+        let cfg = TileConfig::ae_leopard();
+        let heavy = simulate_head(&workload(4), &cfg);
+        assert!(
+            heavy.pruned_scores > 0,
+            "fixture must prune something to fit from"
+        );
+        let model = CostModel::fit_from_results([observe("MemN2N", &heavy, &cfg)]);
+        assert_eq!(model.fitted_families(), 1);
+        // The fitted saving equals 1 - mean pruned bits / magnitude width.
+        let total: u64 = heavy.pruned_bits_histogram.iter().sum();
+        let weighted: u64 = heavy
+            .pruned_bits_histogram
+            .iter()
+            .enumerate()
+            .map(|(bits, &count)| bits as u64 * count)
+            .sum();
+        let width = (heavy.pruned_bits_histogram.len() - 1) as f64;
+        let expected = 1.0 - (weighted as f64 / total as f64) / width;
+        assert!((model.saving("MemN2N") - expected).abs() < 1e-12);
+        // The calibration scale centers the prediction on the measured
+        // cycles at the calibration point.
+        let predicted = model.predict_head_cycles("MemN2N", &cfg, 24, heavy.pruning_rate());
+        let ratio = predicted as f64 / heavy.total_cycles as f64;
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "calibrated prediction {predicted} vs measured {}",
+            heavy.total_cycles
+        );
+        // Unfitted families fall back to the analytical default.
+        assert_eq!(
+            model.saving("ViT-B"),
+            DEFAULT_EARLY_TERMINATION_SAVING,
+            "unknown family must use the default saving"
+        );
+        assert_eq!(model.scale("ViT-B"), 1.0);
+        assert_eq!(CostModel::analytical().fitted_families(), 0);
+    }
+
+    #[test]
+    fn pooled_fits_average_multiple_results_per_family() {
+        let cfg = TileConfig::ae_leopard();
+        let a = simulate_head(&workload(5), &cfg);
+        let b = simulate_head(&workload(6), &cfg);
+        let pooled =
+            CostModel::fit_from_results([observe("BERT-B", &a, &cfg), observe("BERT-B", &b, &cfg)]);
+        assert_eq!(pooled.fitted_families(), 1);
+        let only_a = CostModel::fit_from_results([observe("BERT-B", &a, &cfg)]);
+        let only_b = CostModel::fit_from_results([observe("BERT-B", &b, &cfg)]);
+        let (lo, hi) = if only_a.saving("BERT-B") <= only_b.saving("BERT-B") {
+            (only_a.saving("BERT-B"), only_b.saving("BERT-B"))
+        } else {
+            (only_b.saving("BERT-B"), only_a.saving("BERT-B"))
+        };
+        let s = pooled.saving("BERT-B");
+        assert!(
+            (lo..=hi).contains(&s),
+            "pooled saving {s} outside [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn higher_saving_predicts_fewer_cycles_on_pruning_tiles_only() {
+        let cfg = TileConfig::ae_leopard();
+        let result = HeadSimResult {
+            // All pruned dots stopped after 1 of 11 magnitude bits.
+            pruned_bits_histogram: {
+                let mut h = vec![0u64; 12];
+                h[1] = 100;
+                h
+            },
+            ..simulate_head(&workload(7), &cfg)
+        };
+        let quick = CostModel::fit_from_results([observe("fast", &result, &cfg)]);
+        assert!(quick.saving("fast") > 0.9);
+        // Compare at unit scale so only the saving differs.
+        let saving_only = CostModel {
+            fits: vec![(
+                "fast".to_string(),
+                FamilyFit {
+                    saving: quick.saving("fast"),
+                    scale: 1.0,
+                },
+            )],
+        };
+        let ae = TileConfig::ae_leopard();
+        assert!(
+            saving_only.predict_head_cycles("fast", &ae, 64, 0.8)
+                < CostModel::analytical().predict_head_cycles("fast", &ae, 64, 0.8)
+        );
+        // The unpruned baseline ignores the saving entirely.
+        let base = TileConfig::baseline();
+        assert_eq!(
+            saving_only.predict_head_cycles("fast", &base, 64, 0.8),
+            CostModel::analytical().predict_head_cycles("fast", &base, 64, 0.8)
+        );
+    }
+
+    #[test]
+    fn empty_bit_profiles_fall_back_to_the_default_saving() {
+        let cfg = TileConfig::ae_leopard();
+        let mut result = simulate_head(&workload(8), &cfg);
+        result.pruned_bits_histogram = vec![0; 12];
+        let model = CostModel::fit_from_results([observe("GPT-2-L", &result, &cfg)]);
+        // The family is still calibrated (scale) but keeps the default
+        // saving — there was no pruned dot to read a saving from.
+        assert_eq!(model.fitted_families(), 1);
+        assert_eq!(model.saving("GPT-2-L"), DEFAULT_EARLY_TERMINATION_SAVING);
+        assert!(model.scale("GPT-2-L") > 0.0);
     }
 
     #[test]

@@ -45,7 +45,7 @@
 //! assert!(result.total_cycles > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod area;

@@ -28,7 +28,7 @@ use crate::report::{
     summary_line, task_results_csv,
 };
 use crate::sched::SchedulePolicy;
-use crate::serving::{run_serving, ServingOptions, ServingReport};
+use crate::serving::{run_serving, ArrivalProcess, RequestMix, ServingOptions, ServingReport};
 use leopard_accel::config::TileConfig;
 use leopard_accel::cost::head_cost;
 use leopard_accel::energy::EnergyModel;
@@ -63,6 +63,12 @@ pub struct ServeSpec {
     pub rate_rps: f64,
     /// Arrival-process seed (`--seed`).
     pub seed: u64,
+    /// Shape of the arrival process (`--arrivals steady|bursty|diurnal`).
+    pub arrivals: ArrivalProcess,
+    /// Per-family request mix (`--mix family=weight,...`).
+    pub mix: RequestMix,
+    /// SLO deadline in virtual cycles (`--slo-cycles`); `None` admits all.
+    pub slo_cycles: Option<u64>,
     /// Virtual tiles to dispatch onto (`--servers`).
     pub servers: usize,
 }
@@ -74,6 +80,9 @@ impl Default for ServeSpec {
             requests: defaults.requests,
             rate_rps: defaults.rate_rps,
             seed: defaults.seed,
+            arrivals: defaults.arrivals,
+            mix: defaults.mix,
+            slo_cycles: defaults.slo_cycles,
             servers: defaults.servers,
         }
     }
@@ -144,8 +153,9 @@ FLAGS:
     --quick           keep every 4th task only
     --full-scale      simulate the paper's full sequence lengths (slow;
                       conflicts with --max-seq-len)
-    --schedule P      admission order: fifo (arrival) or ljf
-                      (longest-predicted-job-first); suite and serve only
+    --schedule P      admission order: fifo (arrival), ljf
+                      (longest-predicted-job-first), or sjf
+                      (shortest-predicted-job-first); suite and serve only
     --json PATH       write a JSON report
     --csv PATH        write a CSV report
     --all-tasks       (sweep) use all 43 tasks, not the representative set
@@ -156,6 +166,14 @@ SERVE FLAGS:
                       100000000 — deliberately above capacity so a backlog
                       forms and the admission order matters)
     --seed S          arrival-process seed (default 0x5EEDCAFE)
+    --arrivals A      arrival process: steady (Poisson), bursty (on/off),
+                      or diurnal (sinusoidal rate); default steady
+    --mix M           per-family request mix, e.g. memn2n=3,bert-b=1
+                      (families: memn2n, bert-b, bert-l, albert-xx-l,
+                      gpt-2-l, vit-b); default uniform over all tasks
+    --slo-cycles N    shed requests whose predicted completion exceeds N
+                      virtual cycles after arrival; reports shed rate and
+                      goodput (default: admit everything)
     --servers T       virtual tiles to dispatch onto (default 32)
 
 PARAM SPECS:
@@ -296,6 +314,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let v = take_value(&mut it, "--seed")?;
                 serve.seed = parse_seed(&v)?;
                 serve_flag_seen = serve_flag_seen.or(Some("--seed"));
+            }
+            "--arrivals" => {
+                serve.arrivals = ArrivalProcess::parse(&take_value(&mut it, "--arrivals")?)?;
+                serve_flag_seen = serve_flag_seen.or(Some("--arrivals"));
+            }
+            "--mix" => {
+                serve.mix = RequestMix::parse(&take_value(&mut it, "--mix")?)?;
+                serve_flag_seen = serve_flag_seen.or(Some("--mix"));
+            }
+            "--slo-cycles" => {
+                let v = take_value(&mut it, "--slo-cycles")?;
+                let slo: u64 = v.parse().map_err(|_| format!("bad SLO {v:?}"))?;
+                if slo == 0 {
+                    return Err("--slo-cycles must be at least 1".to_string());
+                }
+                serve.slo_cycles = Some(slo);
+                serve_flag_seen = serve_flag_seen.or(Some("--slo-cycles"));
             }
             "--servers" => {
                 let v = take_value(&mut it, "--servers")?;
@@ -455,18 +490,27 @@ fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), Str
         requests: spec.requests,
         rate_rps: spec.rate_rps,
         seed: spec.seed,
+        arrivals: spec.arrivals,
+        mix: spec.mix.clone(),
         policy: common.schedule,
+        slo_cycles: spec.slo_cycles,
         servers: spec.servers,
         pipeline: common.pipeline,
         ..ServingOptions::default()
     };
     let runner = SuiteRunner::new(common.threads);
+    let slo = options
+        .slo_cycles
+        .map_or_else(|| "none".to_string(), |s| format!("{s} cycles"));
     println!(
-        "serving {} requests at {:.0} req/s ({} schedule, {} virtual tiles, seed {:#x}) on {} \
-         worker threads...",
+        "serving {} requests at {:.0} req/s ({} arrivals, {} mix, {} schedule, slo {}, {} \
+         virtual tiles, seed {:#x}) on {} worker threads...",
         options.requests,
         options.rate_rps,
+        options.arrivals.label(),
+        options.mix.label(),
         options.policy.label(),
+        slo,
         options.servers,
         options.seed,
         runner.threads(),
@@ -895,6 +939,39 @@ mod tests {
             Command::Suite(common) => assert_eq!(common.schedule, SchedulePolicy::Ljf),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_scenario_flags() {
+        let cmd = parse(&args(&[
+            "serve",
+            "--arrivals",
+            "bursty",
+            "--mix",
+            "memn2n=3,bert-b=1",
+            "--slo-cycles",
+            "5000000",
+            "--schedule",
+            "sjf",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(spec, common) => {
+                assert_eq!(spec.arrivals, ArrivalProcess::Bursty);
+                assert_eq!(spec.mix.label(), "memn2n=3,bert-b=1");
+                assert_eq!(spec.slo_cycles, Some(5_000_000));
+                assert_eq!(common.schedule, SchedulePolicy::Sjf);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Scenario flags are serve-only, and their values are validated.
+        assert!(parse(&args(&["suite", "--arrivals", "bursty"])).is_err());
+        assert!(parse(&args(&["suite", "--mix", "memn2n=1"])).is_err());
+        assert!(parse(&args(&["suite", "--slo-cycles", "5"])).is_err());
+        assert!(parse(&args(&["serve", "--arrivals", "lumpy"])).is_err());
+        assert!(parse(&args(&["serve", "--mix", "zebra=1"])).is_err());
+        assert!(parse(&args(&["serve", "--slo-cycles", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--slo-cycles", "many"])).is_err());
     }
 
     #[test]

@@ -120,6 +120,27 @@ impl TaskState {
 
 /// The suite runner: a thread pool plus a workload cache that persists
 /// across runs (so parameter sweeps hit it).
+///
+/// # Examples
+///
+/// ```
+/// use leopard_runtime::engine::SuiteRunner;
+/// use leopard_runtime::sched::SchedulePolicy;
+/// use leopard_workloads::pipeline::PipelineOptions;
+/// use leopard_workloads::suite::full_suite;
+///
+/// let tasks: Vec<_> = full_suite().into_iter().take(2).collect();
+/// let options = PipelineOptions { max_sim_seq_len: 16, ..Default::default() };
+/// let runner = SuiteRunner::new(2);
+/// let report = runner.run(&tasks, &options);
+/// assert_eq!(report.results.len(), 2);
+/// assert_eq!(report.threads, 2);
+/// // Scheduling changes only when jobs start, never what they compute:
+/// let ljf = runner.run_scheduled(&tasks, &options, SchedulePolicy::Ljf);
+/// assert_eq!(ljf.results, report.results);
+/// // The second run reused every cached workload.
+/// assert_eq!(ljf.cache.misses, report.cache.misses);
+/// ```
 #[derive(Debug)]
 pub struct SuiteRunner {
     pool: ThreadPool,

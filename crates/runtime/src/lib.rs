@@ -6,34 +6,41 @@
 //! crate executes that DAG on a work-stealing thread pool built from std
 //! threads and channels:
 //!
-//! * [`pool`] — the work-stealing [`ThreadPool`](pool::ThreadPool): per
+//! * [`pool`] — the work-stealing [`ThreadPool`]: per
 //!   worker local deques (LIFO for locality), a shared injector, FIFO
-//!   stealing, plus the order-preserving [`parallel_map`](pool::parallel_map)
+//!   stealing, plus the order-preserving [`parallel_map`]
 //!   helper for custom sweeps.
-//! * [`cache`] — the concurrent [`WorkloadCache`](cache::WorkloadCache)
+//! * [`cache`] — the concurrent [`WorkloadCache`]
 //!   memoizing workload construction (Q/K synthesis, threshold placement,
 //!   quantization) on `(task, seed, seq_len)` plus the quantization knobs,
 //!   so per-head construction happens once per run and parameter sweeps
 //!   reuse it across design points.
-//! * [`engine`] — the [`SuiteRunner`](engine::SuiteRunner): builds the job
+//! * [`engine`] — the [`SuiteRunner`]: builds the job
 //!   DAG (build → four simulation units → aggregate per task), tracks
 //!   per-stage wall-clock totals, and returns results that are
 //!   **bit-identical** to the serial pipeline for any thread count (every
 //!   job is a pure function of its fixed per-head seed, and aggregation
 //!   consumes unit results in head order).
-//! * [`sched`] — cost-model admission scheduling: FIFO and
-//!   longest-predicted-job-first ([`SchedulePolicy`](sched::SchedulePolicy)
-//!   plus the deterministic [`ReadyQueue`](sched::ReadyQueue)), shared by
-//!   the suite and serving engines.
+//! * [`sched`] — cost-model admission scheduling: FIFO,
+//!   longest-predicted-job-first, and shortest-predicted-job-first
+//!   ([`SchedulePolicy`] plus the deterministic
+//!   [`ReadyQueue`](sched::ReadyQueue)), shared by the suite and serving
+//!   engines.
 //! * [`serving`] — the serving-mode engine: a seeded synthetic request
-//!   stream replayed on a virtual cycle clock with p50/p95/p99/max latency,
-//!   throughput, and queue-depth reporting. Per-request accounting is
+//!   stream (steady, bursty, or diurnal arrivals; per-family request mix)
+//!   replayed on a virtual cycle clock, with optional SLO-aware admission
+//!   shedding and p50/p95/p99/max latency, throughput, shed-rate,
+//!   goodput, and queue-depth reporting. Per-request accounting is
 //!   bit-identical for any thread count.
 //! * [`report`] — structured JSON/CSV rendering of suite and serving
 //!   reports with timing and cache statistics.
 //! * [`cli`] — the `leopard` binary: `leopard suite`, `leopard task
 //!   <name>`, `leopard sweep --param nqk=2..10`, `leopard serve --requests
-//!   N --rate R --schedule ljf`, `leopard list`.
+//!   N --rate R --arrivals bursty --mix memn2n=3,bert-b=1 --schedule sjf
+//!   --slo-cycles N`, `leopard list`.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate map, the
+//! two-phase serving replay, and the determinism contract.
 //!
 //! # Example
 //!
@@ -49,7 +56,7 @@
 //! assert_eq!(report.results[0], run_task(&tasks[0], &options));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
@@ -64,4 +71,4 @@ pub use cache::{CacheStats, WorkloadCache};
 pub use engine::{run_suite_parallel, SuiteReport, SuiteRunner};
 pub use pool::{parallel_map, ThreadPool};
 pub use sched::SchedulePolicy;
-pub use serving::{run_serving, ServingOptions, ServingReport};
+pub use serving::{run_serving, ArrivalProcess, RequestMix, ServingOptions, ServingReport};

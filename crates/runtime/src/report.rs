@@ -10,7 +10,7 @@
 //! JSON has no `NaN`/`Infinity`, and a CSV cell reading `NaN` silently
 //! round-trips to a string in most readers. Both writers therefore share
 //! one contract for non-finite `f64`s: the JSON writer emits `null`
-//! ([`json_f64`]) and the CSV writer emits an **empty cell** (`csv_f64`) —
+//! (`json_f64`) and the CSV writer emits an **empty cell** (`csv_f64`) —
 //! never the raw `Display` text. Serving-report CSVs avoid the question
 //! entirely by writing integer cycle counts only, which is also what makes
 //! them bit-comparable across thread counts.
@@ -242,10 +242,22 @@ pub fn serving_report_json(report: &ServingReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"policy\": \"{}\",", report.policy.label());
+    let _ = writeln!(out, "  \"arrivals\": \"{}\",", report.arrivals.label());
+    let _ = writeln!(out, "  \"mix\": \"{}\",", escape_json(&report.mix_label));
+    let _ = writeln!(
+        out,
+        "  \"slo_cycles\": {},",
+        report
+            .slo_cycles
+            .map_or("null".to_string(), |slo| slo.to_string())
+    );
     let _ = writeln!(out, "  \"servers\": {},", report.servers);
     let _ = writeln!(out, "  \"threads\": {},", report.threads);
     let _ = writeln!(out, "  \"frequency_mhz\": {},", report.frequency_mhz);
+    let _ = writeln!(out, "  \"offered\": {},", report.offered());
     let _ = writeln!(out, "  \"requests\": {},", report.records.len());
+    let _ = writeln!(out, "  \"shed\": {},", report.shed.len());
+    let _ = writeln!(out, "  \"shed_rate\": {},", json_f64(report.shed_rate()));
     let _ = writeln!(
         out,
         "  \"wall_seconds\": {},",
@@ -266,10 +278,33 @@ pub fn serving_report_json(report: &ServingReport) -> String {
     );
     let _ = writeln!(
         out,
+        "  \"goodput_rps\": {},",
+        json_f64(report.goodput_rps())
+    );
+    let _ = writeln!(
+        out,
         "  \"queue_depth\": {{\"max\": {}, \"mean\": {}}},",
         report.max_queue_depth(),
         json_f64(report.mean_queue_depth()),
     );
+    // Shed requests, in decision order (empty without an SLO).
+    let shed_rows: Vec<String> = report
+        .shed
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"id\": {}, \"task_id\": {}, \"task\": \"{}\", \"arrival_cycle\": {}, \
+                 \"shed_cycle\": {}, \"predicted_cycles\": {}}}",
+                s.id,
+                s.task_id,
+                escape_json(&s.task_name),
+                s.arrival_cycle,
+                s.shed_cycle,
+                s.predicted_cycles,
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"shed_detail\": [{}],", shed_rows.join(", "));
     // The depth-over-time series: one [dispatch_cycle, depth] pair per
     // dispatch, in virtual-time order.
     let samples: Vec<String> = report
@@ -312,17 +347,33 @@ pub fn serving_report_json(report: &ServingReport) -> String {
 }
 
 /// Renders the serving console summary: one percentile row per statistic,
-/// then throughput and queue depth. An empty run renders a "no requests
-/// served" line.
+/// then throughput, queue depth, and — when an SLO was set — shed rate and
+/// goodput. A run that admitted nothing renders a "no requests served"
+/// line (plus the shed accounting when everything was shed by the SLO).
 pub fn serving_summary(report: &ServingReport) -> String {
+    let mut out = String::new();
     if report.records.is_empty() {
-        return "no requests served\n".to_string();
+        out.push_str("no requests served\n");
+        if let Some(slo) = report.slo_cycles {
+            let _ = writeln!(
+                out,
+                "slo {} cycles: shed {} of {} offered ({:.1}%)",
+                slo,
+                report.shed.len(),
+                report.offered(),
+                report.shed_rate() * 100.0,
+            );
+        }
+        return out;
     }
     let latency = report.latency();
-    let mut out = format!(
-        "latency at the {} MHz tile clock ({} schedule, {} tiles):\n",
+    let _ = writeln!(
+        out,
+        "latency at the {} MHz tile clock ({} schedule, {} arrivals, {} mix, {} tiles):",
         report.frequency_mhz,
         report.policy.label(),
+        report.arrivals.label(),
+        report.mix_label,
         report.servers
     );
     for (label, value) in [
@@ -339,6 +390,20 @@ pub fn serving_summary(report: &ServingReport) -> String {
         report.throughput_rps(),
         report.makespan_cycles() as f64 / (f64::from(report.frequency_mhz) * 1e3),
     );
+    if let Some(slo) = report.slo_cycles {
+        let _ = writeln!(
+            out,
+            "slo {} cycles: shed {} of {} offered ({:.1}%), {} of {} admitted met the \
+             deadline, goodput {:.0} requests/s",
+            slo,
+            report.shed.len(),
+            report.offered(),
+            report.shed_rate() * 100.0,
+            report.slo_met(),
+            report.records.len(),
+            report.goodput_rps(),
+        );
+    }
     let _ = writeln!(
         out,
         "queue depth: max {}, mean {:.1}",
@@ -501,10 +566,16 @@ mod tests {
         let json = serving_report_json(&report);
         for key in [
             "\"policy\": \"ljf\"",
+            "\"arrivals\": \"steady\"",
+            "\"mix\": \"uniform\"",
+            "\"slo_cycles\": null",
+            "\"shed_rate\": 0",
             "\"latency_us\"",
             "\"throughput_rps\"",
+            "\"goodput_rps\"",
             "\"queue_depth\"",
             "\"queue_samples\"",
+            "\"shed_detail\": []",
             "\"requests_detail\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
@@ -525,5 +596,99 @@ mod tests {
         let json = serving_report_json(&report);
         assert!(json.contains("\"requests\": 0"));
         assert!(json.contains("\"requests_detail\": [\n  ]"));
+    }
+
+    /// Extracts the value following `"key": ` in the rendered JSON.
+    fn json_value<'a>(json: &'a str, key: &str) -> &'a str {
+        let needle = format!("\"{key}\": ");
+        let start = json.find(&needle).unwrap_or_else(|| panic!("no {key}")) + needle.len();
+        let rest = &json[start..];
+        let end = rest
+            .find([',', '\n'])
+            .unwrap_or_else(|| panic!("unterminated {key}"));
+        &rest[..end]
+    }
+
+    #[test]
+    fn all_shed_serving_csv_is_headers_only_and_summary_survives() {
+        use crate::serving::{run_serving, ServingOptions};
+        // An SLO of 1 cycle is unmeetable: every request predicts past the
+        // deadline and the controller sheds the entire stream.
+        let suite: Vec<_> = full_suite().into_iter().take(4).collect();
+        let runner = crate::engine::SuiteRunner::new(2);
+        let report = run_serving(
+            &runner,
+            &suite,
+            &ServingOptions {
+                requests: 12,
+                slo_cycles: Some(1),
+                pipeline: PipelineOptions {
+                    max_sim_seq_len: 24,
+                    ..PipelineOptions::default()
+                },
+                ..ServingOptions::default()
+            },
+        );
+        assert!(report.records.is_empty());
+        assert_eq!(report.shed.len(), 12);
+        assert_eq!(report.shed_rate(), 1.0);
+        assert_eq!(report.goodput_rps(), 0.0);
+        // CSV renders the header line and nothing else — no panic.
+        let csv = serving_requests_csv(&report);
+        assert_eq!(csv.trim_end().lines().count(), 1);
+        assert!(csv.starts_with("request,task_id,task,arrival_cycle"));
+        // Console summary reports the shed accounting instead of latency.
+        let summary = serving_summary(&report);
+        assert!(summary.contains("no requests served"));
+        assert!(summary.contains("shed 12 of 12 offered (100.0%)"));
+        // JSON stays structurally valid with an all-shed stream.
+        let json = serving_report_json(&report);
+        assert!(json.contains("\"shed\": 12"));
+        assert!(json.contains("\"shed_rate\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn shed_rate_and_goodput_round_trip_through_json() {
+        use crate::serving::{run_serving, ServingOptions};
+        let suite = full_suite();
+        let runner = crate::engine::SuiteRunner::new(2);
+        let report = run_serving(
+            &runner,
+            &suite,
+            &ServingOptions {
+                requests: 64,
+                slo_cycles: Some(3_000),
+                pipeline: PipelineOptions {
+                    max_sim_seq_len: 48,
+                    ..PipelineOptions::default()
+                },
+                ..ServingOptions::default()
+            },
+        );
+        assert!(report.shed_rate() > 0.0, "fixture must shed something");
+        let json = serving_report_json(&report);
+        // The rendered values parse back to exactly the report's numbers
+        // (format!("{v}") of a finite f64 round-trips bit-exactly).
+        assert_eq!(
+            json_value(&json, "shed_rate").parse::<f64>().unwrap(),
+            report.shed_rate()
+        );
+        assert_eq!(
+            json_value(&json, "goodput_rps").parse::<f64>().unwrap(),
+            report.goodput_rps()
+        );
+        assert_eq!(
+            json_value(&json, "slo_cycles").parse::<u64>().unwrap(),
+            3_000
+        );
+        assert_eq!(
+            json_value(&json, "shed").parse::<usize>().unwrap(),
+            report.shed.len()
+        );
+        assert_eq!(
+            json_value(&json, "offered").parse::<usize>().unwrap(),
+            report.offered()
+        );
     }
 }

@@ -13,6 +13,11 @@
 //!   count quadratically), starting the long jobs early keeps them off the
 //!   critical path, which cuts the tail of the completion-time distribution
 //!   — the classic LPT argument for makespan on parallel machines.
+//! * [`SchedulePolicy::Sjf`] — shortest predicted job first. The dual
+//!   trade: letting the many cheap jobs overtake the few expensive ones
+//!   minimizes mean (and median) waiting time — the classic SJF argument —
+//!   at the price of a longer tail for the jobs that keep getting
+//!   overtaken.
 //!
 //! Scheduling never changes *what* a job computes, only *when* it starts,
 //! so suite results stay bit-identical across policies; only the latency
@@ -27,19 +32,26 @@ pub enum SchedulePolicy {
     /// Arrival order (first in, first out).
     #[default]
     Fifo,
-    /// Longest predicted job first.
+    /// Longest predicted job first (cuts the tail under backlog).
     Ljf,
+    /// Shortest predicted job first (cuts the median under backlog).
+    Sjf,
 }
 
 impl SchedulePolicy {
     /// Every policy, in documentation order.
-    pub const ALL: [SchedulePolicy; 2] = [SchedulePolicy::Fifo, SchedulePolicy::Ljf];
+    pub const ALL: [SchedulePolicy; 3] = [
+        SchedulePolicy::Fifo,
+        SchedulePolicy::Ljf,
+        SchedulePolicy::Sjf,
+    ];
 
-    /// The CLI/report label (`"fifo"`, `"ljf"`).
+    /// The CLI/report label (`"fifo"`, `"ljf"`, `"sjf"`).
     pub fn label(&self) -> &'static str {
         match self {
             SchedulePolicy::Fifo => "fifo",
             SchedulePolicy::Ljf => "ljf",
+            SchedulePolicy::Sjf => "sjf",
         }
     }
 
@@ -52,8 +64,9 @@ impl SchedulePolicy {
         match s.trim().to_lowercase().as_str() {
             "fifo" => Ok(SchedulePolicy::Fifo),
             "ljf" => Ok(SchedulePolicy::Ljf),
+            "sjf" => Ok(SchedulePolicy::Sjf),
             other => Err(format!(
-                "unknown schedule {other:?} (expected one of: fifo, ljf)"
+                "unknown schedule {other:?} (expected one of: fifo, ljf, sjf)"
             )),
         }
     }
@@ -90,6 +103,27 @@ impl PartialOrd for LjfEntry {
     }
 }
 
+/// Max-heap entry with reversed cost order: shorter jobs first, ties broken
+/// toward the earlier arrival so the order is total and deterministic.
+#[derive(Debug, PartialEq, Eq)]
+struct SjfEntry(PredictedJob);
+
+impl Ord for SjfEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .predicted_cycles
+            .cmp(&self.0.predicted_cycles)
+            .then_with(|| other.0.index.cmp(&self.0.index))
+    }
+}
+
+impl PartialOrd for SjfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// A policy-ordered ready queue: jobs go in as they arrive, and come out in
 /// the order the policy dictates. Pop order is fully deterministic — ties on
 /// predicted cost resolve toward the earlier arrival.
@@ -98,6 +132,7 @@ pub struct ReadyQueue {
     policy: SchedulePolicy,
     fifo: VecDeque<PredictedJob>,
     ljf: BinaryHeap<LjfEntry>,
+    sjf: BinaryHeap<SjfEntry>,
 }
 
 impl ReadyQueue {
@@ -107,6 +142,7 @@ impl ReadyQueue {
             policy,
             fifo: VecDeque::new(),
             ljf: BinaryHeap::new(),
+            sjf: BinaryHeap::new(),
         }
     }
 
@@ -120,6 +156,7 @@ impl ReadyQueue {
         match self.policy {
             SchedulePolicy::Fifo => self.fifo.push_back(job),
             SchedulePolicy::Ljf => self.ljf.push(LjfEntry(job)),
+            SchedulePolicy::Sjf => self.sjf.push(SjfEntry(job)),
         }
     }
 
@@ -128,6 +165,7 @@ impl ReadyQueue {
         match self.policy {
             SchedulePolicy::Fifo => self.fifo.pop_front(),
             SchedulePolicy::Ljf => self.ljf.pop().map(|e| e.0),
+            SchedulePolicy::Sjf => self.sjf.pop().map(|e| e.0),
         }
     }
 
@@ -136,6 +174,7 @@ impl ReadyQueue {
         match self.policy {
             SchedulePolicy::Fifo => self.fifo.len(),
             SchedulePolicy::Ljf => self.ljf.len(),
+            SchedulePolicy::Sjf => self.sjf.len(),
         }
     }
 
@@ -147,12 +186,19 @@ impl ReadyQueue {
 
 /// Returns the submission order the policy prescribes for a batch of jobs
 /// whose predicted costs are `costs[i]`: FIFO keeps `0..n`, LJF sorts by
-/// descending cost (ties toward the lower index). Used by the suite engine,
-/// which submits its whole batch up front.
+/// descending cost and SJF by ascending cost (ties toward the lower index
+/// in both). Used by the suite engine, which submits its whole batch up
+/// front.
 pub fn submission_order(costs: &[u64], policy: SchedulePolicy) -> Vec<usize> {
     let mut order: Vec<usize> = (0..costs.len()).collect();
-    if policy == SchedulePolicy::Ljf {
-        order.sort_by(|&a, &b| costs[b].cmp(&costs[a]).then_with(|| a.cmp(&b)));
+    match policy {
+        SchedulePolicy::Fifo => {}
+        SchedulePolicy::Ljf => {
+            order.sort_by(|&a, &b| costs[b].cmp(&costs[a]).then_with(|| a.cmp(&b)));
+        }
+        SchedulePolicy::Sjf => {
+            order.sort_by(|&a, &b| costs[a].cmp(&costs[b]).then_with(|| a.cmp(&b)));
+        }
     }
     order
 }
@@ -194,6 +240,20 @@ mod tests {
     }
 
     #[test]
+    fn sjf_pops_shortest_first_with_deterministic_ties() {
+        let mut q = ReadyQueue::new(SchedulePolicy::Sjf);
+        for (index, cycles) in [(0, 10u64), (1, 700), (2, 10), (3, 900)] {
+            q.push(PredictedJob {
+                index,
+                predicted_cycles: cycles,
+            });
+        }
+        // Ties on predicted cost (indices 0 and 2) resolve to the earlier
+        // arrival.
+        assert_eq!(drain(&mut q), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
     fn submission_order_matches_policy() {
         let costs = [40u64, 900, 40, 7];
         assert_eq!(
@@ -204,6 +264,10 @@ mod tests {
             submission_order(&costs, SchedulePolicy::Ljf),
             vec![1, 0, 2, 3]
         );
+        assert_eq!(
+            submission_order(&costs, SchedulePolicy::Sjf),
+            vec![3, 0, 2, 1]
+        );
         assert!(submission_order(&[], SchedulePolicy::Ljf).is_empty());
     }
 
@@ -213,6 +277,7 @@ mod tests {
             assert_eq!(SchedulePolicy::parse(policy.label()), Ok(policy));
         }
         assert_eq!(SchedulePolicy::parse(" LJF "), Ok(SchedulePolicy::Ljf));
+        assert_eq!(SchedulePolicy::parse("SJF"), Ok(SchedulePolicy::Sjf));
         assert!(SchedulePolicy::parse("srpt").is_err());
         assert_eq!(SchedulePolicy::default(), SchedulePolicy::Fifo);
     }

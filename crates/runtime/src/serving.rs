@@ -1,13 +1,16 @@
 //! Serving-mode engine: a continuous request stream with latency
-//! percentiles.
+//! percentiles, scenario-controlled arrivals, and SLO-aware admission.
 //!
 //! The suite engine answers "how fast does the whole 43-task batch run?";
 //! this module answers the question accelerator papers are increasingly
 //! judged on — *served* latency. A deterministic synthetic arrival process
-//! (seeded task draws and exponential inter-arrival gaps, no wall-clock
-//! randomness) emits inference requests against the task suite; a
-//! cost-model scheduler ([`crate::sched`]) orders admission; and the engine
-//! reports p50/p95/p99/max latency, throughput, and queue depth over time.
+//! ([`ArrivalProcess`]: steady, bursty, or diurnal — seeded, on the virtual
+//! cycle clock, no wall-clock randomness) emits inference requests drawn
+//! from a per-family [`RequestMix`]; a cost-model scheduler
+//! ([`crate::sched`]) orders admission; an optional SLO admission
+//! controller sheds requests whose predicted completion would blow a
+//! deadline; and the engine reports p50/p95/p99/max latency, throughput,
+//! shed rate, goodput, and queue depth over time.
 //!
 //! Execution happens in two phases:
 //!
@@ -20,8 +23,10 @@
 //!    arrival process against `servers` virtual tiles on a virtual cycle
 //!    clock: requests are admitted at their arrival cycle, the policy picks
 //!    the next request whenever a tile frees up (ordering by *predicted*
-//!    cycles from the cost model — the scheduler never sees ground truth),
-//!    and each dispatch occupies the tile for the request's service cycles.
+//!    cycles from the fitted cost model — the scheduler never sees ground
+//!    truth), the SLO controller sheds a picked request if its predicted
+//!    completion misses the deadline, and each dispatch occupies the tile
+//!    for the request's service cycles.
 //!
 //! Latency is therefore accounted in simulated cycles, not wall-clock time:
 //! worker threads only change how fast phase 1 runs, never a single number
@@ -35,11 +40,250 @@ use crate::sched::{PredictedJob, ReadyQueue, SchedulePolicy};
 use leopard_accel::config::TileConfig;
 use leopard_accel::sim::simulate_head;
 use leopard_tensor::rng;
+use leopard_transformer::config::ModelFamily;
 use leopard_workloads::pipeline::{predict_serving_cycles, PipelineOptions};
 use leopard_workloads::suite::TaskDescriptor;
+use rand::rngs::StdRng;
 use rand::Rng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How inter-arrival gaps are generated. Every process is seeded and lives
+/// on the virtual cycle clock, and every process offers the same *long-run*
+/// mean load (`rate_rps`); they differ in how that load is distributed over
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: i.i.d. exponential gaps at the offered rate. The
+    /// memoryless baseline.
+    #[default]
+    Steady,
+    /// On/off (interrupted Poisson) arrivals: bursts of
+    /// [`BURST_MEAN_LEN`]-mean geometric length arrive at
+    /// [`BURST_RATE_FACTOR`]× the offered rate, separated by idle gaps
+    /// sized so the long-run mean rate still equals `rate_rps`. Models
+    /// flash crowds and batchy upstream clients.
+    Bursty,
+    /// Sinusoidally-rate-modulated Poisson arrivals via thinning: the
+    /// instantaneous rate swings ±[`DIURNAL_AMPLITUDE`] around the offered
+    /// rate over [`DIURNAL_PERIODS`] full periods across the stream.
+    /// Models day/night load cycles, compressed onto the virtual clock.
+    Diurnal,
+}
+
+/// Multiplicative headroom the SLO admission controller applies to the
+/// predicted service cycles before comparing against the deadline. The
+/// fitted cost model is calibrated per family but still carries residual
+/// error (service cycles run up to ~1.35× the prediction across the suite
+/// at serving sequence lengths); admitting only requests with this much
+/// predicted slack keeps the *actual* tail of the admitted requests under
+/// the deadline instead of merely the predicted one.
+pub const SLO_PREDICTION_HEADROOM: f64 = 1.4;
+
+/// Mean number of requests per burst of [`ArrivalProcess::Bursty`].
+pub const BURST_MEAN_LEN: f64 = 16.0;
+/// Rate multiplier inside a burst of [`ArrivalProcess::Bursty`].
+pub const BURST_RATE_FACTOR: f64 = 8.0;
+/// Relative amplitude of the [`ArrivalProcess::Diurnal`] rate swing.
+pub const DIURNAL_AMPLITUDE: f64 = 0.75;
+/// Number of full diurnal periods spanned by one request stream.
+pub const DIURNAL_PERIODS: f64 = 4.0;
+
+impl ArrivalProcess {
+    /// Every arrival process, in documentation order.
+    pub const ALL: [ArrivalProcess; 3] = [
+        ArrivalProcess::Steady,
+        ArrivalProcess::Bursty,
+        ArrivalProcess::Diurnal,
+    ];
+
+    /// The CLI/report label (`"steady"`, `"bursty"`, `"diurnal"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Steady => "steady",
+            ArrivalProcess::Bursty => "bursty",
+            ArrivalProcess::Diurnal => "diurnal",
+        }
+    }
+
+    /// Parses a CLI label.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid labels.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_lowercase().as_str() {
+            "steady" => Ok(ArrivalProcess::Steady),
+            "bursty" => Ok(ArrivalProcess::Bursty),
+            "diurnal" => Ok(ArrivalProcess::Diurnal),
+            other => Err(format!(
+                "unknown arrival process {other:?} (expected one of: steady, bursty, diurnal)"
+            )),
+        }
+    }
+}
+
+/// Which tasks the request stream draws, weighted by model family.
+///
+/// The uniform mix draws every suite task with equal probability. A
+/// weighted mix assigns each *family* a non-negative weight; a task's draw
+/// probability is its family's weight divided equally among that family's
+/// tasks, so `memn2n=3,bert-b=1` sends three quarters of the traffic to
+/// MemN2N tasks regardless of how many tasks each family contributes.
+/// Families left out of a weighted mix receive no traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMix {
+    /// `(family, weight)` pairs; empty means uniform over all tasks.
+    weights: Vec<(ModelFamily, f64)>,
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+impl RequestMix {
+    /// The uniform mix: every suite task equally likely.
+    pub fn uniform() -> Self {
+        Self {
+            weights: Vec::new(),
+        }
+    }
+
+    /// Builds a weighted mix from `(family, weight)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative or non-finite weights, duplicate families, and
+    /// mixes whose weights sum to zero.
+    pub fn from_weights(weights: Vec<(ModelFamily, f64)>) -> Result<Self, String> {
+        let mut seen: Vec<ModelFamily> = Vec::new();
+        for &(family, weight) in &weights {
+            if !(weight.is_finite() && weight >= 0.0) {
+                return Err(format!("weight for {family} must be finite and >= 0"));
+            }
+            if seen.contains(&family) {
+                return Err(format!("family {family} listed twice in the mix"));
+            }
+            seen.push(family);
+        }
+        if !weights.is_empty() && weights.iter().map(|(_, w)| w).sum::<f64>() <= 0.0 {
+            return Err("request mix needs at least one positive weight".to_string());
+        }
+        Ok(Self { weights })
+    }
+
+    /// Parses a CLI mix specification such as `memn2n=3,bert-b=1`. Family
+    /// names match [`ModelFamily::name`] case-insensitively, with hyphens
+    /// optional (`bert-b` and `bertb` both work). An empty string is the
+    /// uniform mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending entry.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s.trim().is_empty() {
+            return Ok(Self::uniform());
+        }
+        let mut weights = Vec::new();
+        for entry in s.split(',') {
+            let (name, weight) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("mix entry {entry:?} is not family=weight"))?;
+            let family = parse_family(name)?;
+            let weight: f64 = weight
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad weight {:?} for {family}", weight.trim()))?;
+            weights.push((family, weight));
+        }
+        Self::from_weights(weights)
+    }
+
+    /// Whether this is the uniform mix.
+    pub fn is_uniform(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The CLI/report label: `"uniform"` or the `family=weight,...` form.
+    pub fn label(&self) -> String {
+        if self.is_uniform() {
+            return "uniform".to_string();
+        }
+        self.weights
+            .iter()
+            .map(|(family, weight)| format!("{}={weight}", family.name().to_lowercase()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Per-task draw weights against a concrete suite slice: a family's
+    /// weight is split equally among its tasks (uniform mix: every task
+    /// weight 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task in `suite` ends up with positive weight — the
+    /// stream would have nothing to draw.
+    pub fn task_weights(&self, suite: &[TaskDescriptor]) -> Vec<f64> {
+        let weights: Vec<f64> = if self.is_uniform() {
+            vec![1.0; suite.len()]
+        } else {
+            suite
+                .iter()
+                .map(|task| {
+                    self.weights
+                        .iter()
+                        .find(|(family, _)| *family == task.family)
+                        .map_or(0.0, |&(family, weight)| {
+                            let family_tasks = suite.iter().filter(|t| t.family == family).count();
+                            weight / family_tasks as f64
+                        })
+                })
+                .collect()
+        };
+        assert!(
+            weights.iter().any(|&w| w > 0.0),
+            "request mix {:?} matches no task in the suite slice",
+            self.label()
+        );
+        weights
+    }
+}
+
+/// Resolves a CLI family name (case-insensitive, hyphens optional) to a
+/// [`ModelFamily`].
+fn parse_family(name: &str) -> Result<ModelFamily, String> {
+    let normalized: String = name
+        .trim()
+        .to_lowercase()
+        .chars()
+        .filter(|c| *c != '-')
+        .collect();
+    ModelFamily::ALL
+        .iter()
+        .copied()
+        .find(|family| {
+            family
+                .name()
+                .to_lowercase()
+                .chars()
+                .filter(|c| *c != '-')
+                .collect::<String>()
+                == normalized
+        })
+        .ok_or_else(|| {
+            let names: Vec<String> = ModelFamily::ALL
+                .iter()
+                .map(|f| f.name().to_lowercase())
+                .collect();
+            format!(
+                "unknown model family {name:?} (expected one of: {})",
+                names.join(", ")
+            )
+        })
+}
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,8 +295,17 @@ pub struct ServingOptions {
     pub rate_rps: f64,
     /// Seed of the arrival process (task draws + inter-arrival gaps).
     pub seed: u64,
+    /// Shape of the arrival process (steady / bursty / diurnal).
+    pub arrivals: ArrivalProcess,
+    /// Per-family task mix the stream draws from.
+    pub mix: RequestMix,
     /// Admission-ordering policy.
     pub policy: SchedulePolicy,
+    /// SLO deadline in virtual cycles from arrival to completion. When set,
+    /// the admission controller sheds any picked request whose *predicted*
+    /// completion would miss the deadline, and the report carries shed rate
+    /// and goodput. `None` admits everything.
+    pub slo_cycles: Option<u64>,
     /// Number of virtual tiles requests are dispatched onto.
     pub servers: usize,
     /// Workload construction knobs (sequence-length cap, heads, ...).
@@ -63,18 +316,21 @@ pub struct ServingOptions {
 
 impl Default for ServingOptions {
     /// Defaults model a saturated serving deployment: 16 accelerators of
-    /// two tiles each (32 dispatch slots) hit with an offered load well
-    /// above their capacity, so a backlog forms and the admission order
-    /// matters. In this regime longest-predicted-job-first cuts the tail
-    /// (p99/max) versus arrival order by keeping the long requests off the
-    /// end of the schedule; below saturation the queue stays shallow and
+    /// two tiles each (32 dispatch slots) hit with a steady offered load
+    /// well above their capacity, so a backlog forms and the admission
+    /// order matters. In this regime longest-predicted-job-first cuts the
+    /// tail (p99/max) and shortest-predicted-job-first cuts the median
+    /// versus arrival order; below saturation the queue stays shallow and
     /// FIFO's arrival order is already near-optimal for tail latency.
     fn default() -> Self {
         Self {
             requests: 256,
             rate_rps: 100_000_000.0,
             seed: 0x5EED_CAFE,
+            arrivals: ArrivalProcess::Steady,
+            mix: RequestMix::uniform(),
             policy: SchedulePolicy::Fifo,
+            slo_cycles: None,
             servers: 32,
             pipeline: PipelineOptions::default(),
             config: TileConfig::ae_leopard(),
@@ -149,11 +405,61 @@ pub struct LatencySummary {
     pub max_us: f64,
 }
 
+/// One request the SLO admission controller refused to dispatch: at the
+/// instant the policy picked it, its predicted completion already missed
+/// the deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedRecord {
+    /// Request id (arrival order).
+    pub id: usize,
+    /// Suite id of the task the request asked for.
+    pub task_id: usize,
+    /// Name of the task the request asked for.
+    pub task_name: String,
+    /// Arrival cycle.
+    pub arrival_cycle: u64,
+    /// Virtual cycle the shed decision was made.
+    pub shed_cycle: u64,
+    /// Cycles the cost model predicted the request would have needed.
+    pub predicted_cycles: u64,
+}
+
 /// Everything a serving run produces.
+///
+/// # Examples
+///
+/// ```
+/// use leopard_runtime::engine::SuiteRunner;
+/// use leopard_runtime::serving::{run_serving, ServingOptions};
+/// use leopard_workloads::pipeline::PipelineOptions;
+/// use leopard_workloads::suite::full_suite;
+///
+/// let suite: Vec<_> = full_suite().into_iter().take(2).collect();
+/// let runner = SuiteRunner::new(1);
+/// let options = ServingOptions {
+///     requests: 8,
+///     pipeline: PipelineOptions { max_sim_seq_len: 16, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let report = run_serving(&runner, &suite, &options);
+/// // Without an SLO nothing is shed and every offered request is served.
+/// assert_eq!(report.records.len(), 8);
+/// assert_eq!(report.shed_rate(), 0.0);
+/// let latency = report.latency();
+/// assert!(latency.p50_us > 0.0 && latency.p50_us <= latency.p99_us);
+/// // Goodput equals throughput when no deadline is set.
+/// assert_eq!(report.goodput_rps(), report.throughput_rps());
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServingReport {
     /// The admission policy the run used.
     pub policy: SchedulePolicy,
+    /// The arrival process that generated the stream.
+    pub arrivals: ArrivalProcess,
+    /// Label of the request mix the stream drew from.
+    pub mix_label: String,
+    /// SLO deadline the admission controller enforced, if any.
+    pub slo_cycles: Option<u64>,
     /// Virtual tiles requests were dispatched onto.
     pub servers: usize,
     /// Worker threads the execution phase ran on (does not affect any
@@ -161,8 +467,11 @@ pub struct ServingReport {
     pub threads: usize,
     /// Tile clock, for converting cycles to time.
     pub frequency_mhz: u32,
-    /// Per-request accounting, in request-id (arrival) order.
+    /// Per-request accounting of the *admitted* requests, in request-id
+    /// (arrival) order.
     pub records: Vec<RequestRecord>,
+    /// Requests the SLO controller shed, in decision order.
+    pub shed: Vec<ShedRecord>,
     /// Queue depth over virtual time, one sample per dispatch.
     pub queue_samples: Vec<QueueSample>,
     /// Real wall-clock time of the run (execution + replay).
@@ -230,31 +539,168 @@ impl ServingReport {
         self.queue_samples.iter().map(|s| s.depth).sum::<usize>() as f64
             / self.queue_samples.len() as f64
     }
+
+    /// Requests the stream offered: admitted plus shed.
+    pub fn offered(&self) -> usize {
+        self.records.len() + self.shed.len()
+    }
+
+    /// Fraction of offered requests the SLO controller shed. Zero when no
+    /// SLO was set or nothing was offered.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed.len() as f64 / offered as f64
+        }
+    }
+
+    /// Admitted requests that actually finished within the SLO deadline
+    /// (all of them when no deadline was set).
+    pub fn slo_met(&self) -> usize {
+        match self.slo_cycles {
+            None => self.records.len(),
+            Some(slo) => self
+                .records
+                .iter()
+                .filter(|r| r.latency_cycles() <= slo)
+                .count(),
+        }
+    }
+
+    /// Goodput in requests per second of virtual time: only requests that
+    /// finished within the deadline count. Equals
+    /// [`throughput_rps`](Self::throughput_rps) when no SLO is set.
+    pub fn goodput_rps(&self) -> f64 {
+        let makespan = self.makespan_cycles();
+        if makespan == 0 {
+            return 0.0;
+        }
+        let seconds = makespan as f64 / (f64::from(self.frequency_mhz) * 1e6);
+        self.slo_met() as f64 / seconds
+    }
 }
 
-/// Generates the deterministic request stream: seeded uniform task draws
-/// and seeded exponential inter-arrival gaps at the offered rate. Pure
-/// function of `(suite length, options)` — no wall-clock randomness.
+/// Draws one exponential gap with the given mean via inverse CDF; `1 - u`
+/// keeps the argument in `(0, 1]` so `ln` never sees zero.
+fn exponential_gap(r: &mut StdRng, mean_cycles: f64) -> f64 {
+    let u: f64 = r.gen();
+    -mean_cycles * (1.0 - u).ln()
+}
+
+/// Stateful gap generator for one arrival process. All randomness comes
+/// from the single seeded stream `r`, in a fixed draw order, so the
+/// generated arrivals are a pure function of the serving options.
+struct GapGenerator {
+    arrivals: ArrivalProcess,
+    /// Mean inter-arrival gap at the offered rate, in cycles.
+    mean_gap: f64,
+    /// Bursty: requests left in the current burst.
+    burst_remaining: u64,
+    /// Diurnal: one full period, in cycles.
+    diurnal_period: f64,
+}
+
+impl GapGenerator {
+    fn new(options: &ServingOptions, mean_gap: f64) -> Self {
+        Self {
+            arrivals: options.arrivals,
+            mean_gap,
+            burst_remaining: 0,
+            // Compress DIURNAL_PERIODS "days" onto the expected stream
+            // duration so every run sees full peaks and troughs.
+            diurnal_period: (options.requests.max(1) as f64 * mean_gap / DIURNAL_PERIODS).max(1.0),
+        }
+    }
+
+    /// The next inter-arrival gap, given the current arrival clock.
+    fn next_gap(&mut self, r: &mut StdRng, now: f64) -> f64 {
+        match self.arrivals {
+            ArrivalProcess::Steady => exponential_gap(r, self.mean_gap),
+            ArrivalProcess::Bursty => {
+                if self.burst_remaining == 0 {
+                    // New burst: geometric length (mean BURST_MEAN_LEN) and
+                    // an idle gap sized so the long-run rate is preserved:
+                    // a burst of mean length L at factor F covers L·m/F
+                    // cycles, so the idle gap supplies the missing
+                    // L·m·(1 - 1/F).
+                    let u: f64 = r.gen();
+                    let p = 1.0 / BURST_MEAN_LEN;
+                    self.burst_remaining = ((1.0 - u).ln() / (1.0 - p).ln()).ceil().max(1.0) as u64;
+                    let idle_mean =
+                        self.mean_gap * BURST_MEAN_LEN * (1.0 - 1.0 / BURST_RATE_FACTOR);
+                    self.burst_remaining -= 1;
+                    exponential_gap(r, idle_mean)
+                } else {
+                    self.burst_remaining -= 1;
+                    exponential_gap(r, self.mean_gap / BURST_RATE_FACTOR)
+                }
+            }
+            ArrivalProcess::Diurnal => {
+                // Thinning (Lewis–Shedler): candidates at the peak rate,
+                // accepted with probability rate(t)/peak. Bounded work per
+                // accepted arrival in expectation (1 + amplitude tries).
+                let peak_gap = self.mean_gap / (1.0 + DIURNAL_AMPLITUDE);
+                let mut t = now;
+                loop {
+                    t += exponential_gap(r, peak_gap);
+                    let phase = 2.0 * std::f64::consts::PI * t / self.diurnal_period;
+                    let relative_rate =
+                        (1.0 + DIURNAL_AMPLITUDE * phase.sin()) / (1.0 + DIURNAL_AMPLITUDE);
+                    let u: f64 = r.gen();
+                    if u < relative_rate {
+                        return t - now;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Generates the deterministic request stream: seeded task draws from the
+/// [`RequestMix`] and seeded inter-arrival gaps from the
+/// [`ArrivalProcess`], both at the offered rate on the virtual cycle
+/// clock. Pure function of `(suite, options)` — the suite's family
+/// composition enters through the mix weights — with no wall-clock
+/// randomness.
 ///
 /// # Panics
 ///
-/// Panics if `suite` is empty or the rate is not positive.
+/// Panics if `suite` is empty, the rate is not positive, or the mix
+/// matches no task in `suite`.
 pub fn generate_requests(suite: &[TaskDescriptor], options: &ServingOptions) -> Vec<Request> {
     assert!(!suite.is_empty(), "serving needs at least one task to draw");
     assert!(
         options.rate_rps > 0.0 && options.rate_rps.is_finite(),
         "arrival rate must be positive and finite"
     );
+    let weights = options.mix.task_weights(suite);
+    let total_weight: f64 = weights.iter().sum();
+    // Float-rounding fallback: a draw that walks off the CDF must land on a
+    // task with positive weight, never on a zero-weight tail entry.
+    let last_positive = weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("task_weights guarantees a positive weight");
     let mut r = rng::seeded(options.seed);
     let mean_gap_cycles = f64::from(options.config.frequency_mhz) * 1e6 / options.rate_rps;
+    let mut gaps = GapGenerator::new(options, mean_gap_cycles);
     let mut arrival = 0.0f64;
     (0..options.requests)
         .map(|id| {
-            let task_index = r.gen_range(0..suite.len());
-            // Exponential gap via inverse CDF; 1 - u keeps the argument in
-            // (0, 1] so ln never sees zero.
+            // Weighted task draw: invert the CDF of the per-task weights.
             let u: f64 = r.gen();
-            arrival += -mean_gap_cycles * (1.0 - u).ln();
+            let mut remaining = u * total_weight;
+            let mut task_index = last_positive;
+            for (index, &w) in weights.iter().enumerate() {
+                if remaining < w {
+                    task_index = index;
+                    break;
+                }
+                remaining -= w;
+            }
+            arrival += gaps.next_gap(&mut r, arrival);
             Request {
                 id,
                 task_index,
@@ -303,15 +749,25 @@ pub fn run_serving(
         service[used.binary_search(&task_index).expect("task was executed")]
     };
 
-    // --- Phase 2: replay the arrival process in virtual time.
+    // --- Phase 2: replay the arrival process in virtual time. Predictions,
+    // like service cycles, are per distinct task; requests share them.
+    let predicted_of: Vec<u64> = used
+        .iter()
+        .map(|&i| predict_serving_cycles(&suite[i], &options.pipeline, &options.config))
+        .collect();
     let predicted: Vec<u64> = requests
         .iter()
-        .map(|r| predict_serving_cycles(&suite[r.task_index], &options.pipeline, &options.config))
+        .map(|r| {
+            predicted_of[used
+                .binary_search(&r.task_index)
+                .expect("task was executed")]
+        })
         .collect();
     let mut ready = ReadyQueue::new(options.policy);
     let mut tile_free_at = vec![0u64; options.servers];
     let mut next_arrival = 0usize;
     let mut records: Vec<Option<RequestRecord>> = vec![None; requests.len()];
+    let mut shed: Vec<ShedRecord> = Vec::new();
     let mut queue_samples = Vec::with_capacity(requests.len());
 
     // Event loop on a monotone virtual clock. At each clock value: dispatch
@@ -320,7 +776,12 @@ pub fn run_serving(
     // to the next event — the earlier of the next arrival and the next
     // tile-free instant. Arrivals are always admitted before a later
     // dispatch is decided, so the policy sees exactly the requests that
-    // have arrived by dispatch time, never more.
+    // have arrived by dispatch time, never more. With an SLO set, a picked
+    // request whose *predicted* completion (`clock + headroom-padded
+    // prediction`) already misses its deadline (`arrival + slo`) is shed
+    // instead of dispatched — the controller sees only cost-model
+    // predictions (padded by SLO_PREDICTION_HEADROOM against residual
+    // model error), never ground truth.
     let mut clock = 0u64;
     loop {
         while !ready.is_empty() {
@@ -336,6 +797,20 @@ pub fn run_serving(
             let job = ready.pop().expect("queue checked non-empty");
             let request = requests[job.index];
             let task = &suite[request.task_index];
+            if let Some(slo) = options.slo_cycles {
+                let padded = (job.predicted_cycles as f64 * SLO_PREDICTION_HEADROOM) as u64;
+                if clock + padded > request.arrival_cycle + slo {
+                    shed.push(ShedRecord {
+                        id: request.id,
+                        task_id: task.id,
+                        task_name: task.name.clone(),
+                        arrival_cycle: request.arrival_cycle,
+                        shed_cycle: clock,
+                        predicted_cycles: job.predicted_cycles,
+                    });
+                    continue;
+                }
+            }
             let service_cycles = service_of(request.task_index);
             let finish = clock + service_cycles;
             tile_free_at[tile] = finish;
@@ -382,13 +857,15 @@ pub fn run_serving(
 
     ServingReport {
         policy: options.policy,
+        arrivals: options.arrivals,
+        mix_label: options.mix.label(),
+        slo_cycles: options.slo_cycles,
         servers: options.servers,
         threads: runner.threads(),
         frequency_mhz: options.config.frequency_mhz,
-        records: records
-            .into_iter()
-            .map(|r| r.expect("every request dispatches exactly once"))
-            .collect(),
+        // Shed requests leave a hole; admitted records keep arrival order.
+        records: records.into_iter().flatten().collect(),
+        shed,
         queue_samples,
         wall: start.elapsed(),
         cache: runner.cache().stats(),
@@ -412,17 +889,198 @@ mod tests {
     }
 
     #[test]
-    fn arrivals_are_deterministic_and_monotone() {
+    fn arrivals_are_deterministic_and_monotone_for_every_process() {
         let suite = full_suite();
-        let options = quick_options();
-        let a = generate_requests(&suite, &options);
-        let b = generate_requests(&suite, &options);
-        assert_eq!(a, b);
-        for pair in a.windows(2) {
-            assert!(pair[0].arrival_cycle <= pair[1].arrival_cycle);
+        for arrivals in ArrivalProcess::ALL {
+            let options = ServingOptions {
+                arrivals,
+                ..quick_options()
+            };
+            let a = generate_requests(&suite, &options);
+            let b = generate_requests(&suite, &options);
+            assert_eq!(a, b, "{} stream must be reproducible", arrivals.label());
+            for pair in a.windows(2) {
+                assert!(pair[0].arrival_cycle <= pair[1].arrival_cycle);
+            }
+            let other_seed = generate_requests(&suite, &ServingOptions { seed: 1, ..options });
+            assert_ne!(a, other_seed);
         }
-        let other_seed = generate_requests(&suite, &ServingOptions { seed: 1, ..options });
-        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn bursty_gaps_are_more_variable_than_steady_at_the_same_mean_rate() {
+        let suite = full_suite();
+        let base = ServingOptions {
+            requests: 2048,
+            rate_rps: 1e6,
+            ..ServingOptions::default()
+        };
+        let gap_stats = |arrivals: ArrivalProcess| {
+            let requests = generate_requests(
+                &suite,
+                &ServingOptions {
+                    arrivals,
+                    ..base.clone()
+                },
+            );
+            let gaps: Vec<f64> = requests
+                .windows(2)
+                .map(|p| (p[1].arrival_cycle - p[0].arrival_cycle) as f64)
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            (mean, var.sqrt() / mean)
+        };
+        let (steady_mean, steady_cv) = gap_stats(ArrivalProcess::Steady);
+        let (bursty_mean, bursty_cv) = gap_stats(ArrivalProcess::Bursty);
+        let (diurnal_mean, _) = gap_stats(ArrivalProcess::Diurnal);
+        // All three processes offer roughly the same long-run rate ...
+        assert!(
+            (bursty_mean / steady_mean - 1.0).abs() < 0.35,
+            "bursty mean gap {bursty_mean} vs steady {steady_mean}"
+        );
+        assert!(
+            (diurnal_mean / steady_mean - 1.0).abs() < 0.35,
+            "diurnal mean gap {diurnal_mean} vs steady {steady_mean}"
+        );
+        // ... but bursty gaps are far more dispersed (exponential CV ≈ 1).
+        assert!(
+            bursty_cv > steady_cv * 1.5,
+            "bursty CV {bursty_cv} vs steady CV {steady_cv}"
+        );
+    }
+
+    #[test]
+    fn diurnal_arrivals_alternate_dense_and_sparse_quarters() {
+        let suite = full_suite();
+        let options = ServingOptions {
+            requests: 1024,
+            rate_rps: 1e6,
+            arrivals: ArrivalProcess::Diurnal,
+            ..ServingOptions::default()
+        };
+        let requests = generate_requests(&suite, &options);
+        // Count arrivals per eighth of the stream's span: the sinusoid must
+        // leave some eighths far denser than others (a steady stream keeps
+        // them within sampling noise of each other).
+        let span = requests.last().unwrap().arrival_cycle + 1;
+        let mut eighths = [0usize; 8];
+        for request in &requests {
+            let slot = (request.arrival_cycle * 8 / span).min(7) as usize;
+            eighths[slot] += 1;
+        }
+        let min = *eighths.iter().min().unwrap() as f64;
+        let max = *eighths.iter().max().unwrap() as f64;
+        assert!(
+            max > min * 2.0,
+            "diurnal arrival counts too even: {eighths:?}"
+        );
+    }
+
+    #[test]
+    fn request_mix_parses_and_weights_families() {
+        let mix = RequestMix::parse("memn2n=3,bert-b=1").unwrap();
+        assert!(!mix.is_uniform());
+        assert_eq!(mix.label(), "memn2n=3,bert-b=1");
+        // Hyphens and case are forgiven.
+        assert_eq!(RequestMix::parse("BertB=1").unwrap().label(), "bert-b=1");
+        assert_eq!(RequestMix::parse("").unwrap(), RequestMix::uniform());
+        assert_eq!(RequestMix::default().label(), "uniform");
+        assert!(RequestMix::parse("zebra=1").is_err());
+        assert!(RequestMix::parse("memn2n").is_err());
+        assert!(RequestMix::parse("memn2n=-1").is_err());
+        assert!(RequestMix::parse("memn2n=0").is_err(), "all-zero mix");
+        assert!(RequestMix::parse("memn2n=1,memn2n=2").is_err(), "duplicate");
+
+        // A weighted stream draws only from the weighted families, in
+        // roughly the requested proportion of *family* traffic.
+        let suite = full_suite();
+        let options = ServingOptions {
+            requests: 2000,
+            mix: RequestMix::parse("memn2n=3,vit-b=1").unwrap(),
+            ..ServingOptions::default()
+        };
+        let requests = generate_requests(&suite, &options);
+        let memn2n = requests
+            .iter()
+            .filter(|r| suite[r.task_index].name.starts_with("MemN2N"))
+            .count();
+        let vit = requests
+            .iter()
+            .filter(|r| suite[r.task_index].name.starts_with("ViT"))
+            .count();
+        assert_eq!(memn2n + vit, requests.len(), "only weighted families");
+        let share = memn2n as f64 / requests.len() as f64;
+        assert!(
+            (share - 0.75).abs() < 0.05,
+            "MemN2N family share {share} should be ~0.75"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no task")]
+    fn mix_with_no_matching_task_panics() {
+        // A GPT-2-only mix against a MemN2N-only suite slice can draw
+        // nothing.
+        let suite: Vec<_> = full_suite().into_iter().take(3).collect();
+        let options = ServingOptions {
+            mix: RequestMix::parse("gpt-2-l=1").unwrap(),
+            ..quick_options()
+        };
+        let _ = generate_requests(&suite, &options);
+    }
+
+    #[test]
+    fn slo_admission_sheds_predicted_deadline_misses_only() {
+        let suite = full_suite();
+        let runner = SuiteRunner::new(2);
+        // A deliberately tight deadline in the default backlogged regime:
+        // plenty of requests will predict past it.
+        let slo = 3_000;
+        let options = ServingOptions {
+            requests: 128,
+            slo_cycles: Some(slo),
+            pipeline: PipelineOptions {
+                max_sim_seq_len: 48,
+                ..PipelineOptions::default()
+            },
+            ..ServingOptions::default()
+        };
+        let report = run_serving(&runner, &suite, &options);
+        // Conservation: every offered request is either admitted or shed.
+        assert_eq!(report.offered(), 128);
+        assert!(!report.shed.is_empty(), "backlog must shed something");
+        assert!(!report.records.is_empty(), "not everything can miss");
+        assert!(report.shed_rate() > 0.0 && report.shed_rate() < 1.0);
+        let padded = |predicted: u64| (predicted as f64 * SLO_PREDICTION_HEADROOM) as u64;
+        // Every shed decision was justified by its padded prediction ...
+        for s in &report.shed {
+            assert!(
+                s.shed_cycle + padded(s.predicted_cycles) > s.arrival_cycle + slo,
+                "request {} shed although predicted to meet the deadline",
+                s.id
+            );
+        }
+        // ... and no admitted request was *predicted* to miss at dispatch.
+        for r in &report.records {
+            assert!(r.start_cycle + padded(r.predicted_cycles) <= r.arrival_cycle + slo);
+        }
+        // Goodput counts only within-deadline completions.
+        assert_eq!(
+            report.slo_met(),
+            report
+                .records
+                .iter()
+                .filter(|r| r.latency_cycles() <= slo)
+                .count()
+        );
+        assert!(report.goodput_rps() <= report.throughput_rps());
+        // Admitted ids stay in arrival order with shed ids missing.
+        let mut last = None;
+        for r in &report.records {
+            assert!(last.is_none_or(|l| r.id > l));
+            last = Some(r.id);
+        }
     }
 
     #[test]

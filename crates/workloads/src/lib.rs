@@ -28,7 +28,7 @@
 //! assert!(tasks.iter().any(|t| t.name.contains("MemN2N")));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod pipeline;

@@ -13,10 +13,13 @@
 use crate::suite::TaskDescriptor;
 use leopard_accel::baseline::BaselineComparison;
 use leopard_accel::config::TileConfig;
+use leopard_accel::cost::{CostModel, FitObservation};
 use leopard_accel::energy::{energy_from_events, EnergyBreakdown, EnergyModel};
 use leopard_accel::sim::{simulate_head, HeadSimResult, HeadWorkload};
 use leopard_tensor::{rng, stats, Matrix};
+use leopard_transformer::config::ModelFamily;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Options controlling how a task is turned into a simulator workload.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -177,16 +180,66 @@ pub fn head_seed(task: &TaskDescriptor, head: usize) -> u64 {
     task.seed().wrapping_add(head as u64 * 7919)
 }
 
+/// The suite's fitted cost model: per-family early-termination savings and
+/// calibration scales, fitted once per process from measured bit profiles.
+///
+/// Calibration simulates head 0 of one representative task per family (the
+/// first suite task of that family, sequence length capped at 48) on the
+/// AE-LeOPArd tile and fits the constants via
+/// [`CostModel::fit_from_results`]. That is six short simulations, run
+/// lazily on first use and cached for the life of the process — nothing
+/// ever simulates on a per-request scheduling path. The calibration inputs
+/// are fixed (task, seed, cap), so the fitted constants — and therefore
+/// every prediction — are identical across runs and thread counts.
+pub fn fitted_cost_model() -> &'static CostModel {
+    static MODEL: OnceLock<CostModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let suite = crate::suite::full_suite();
+        let options = PipelineOptions {
+            max_sim_seq_len: 48,
+            ..PipelineOptions::default()
+        };
+        let config = TileConfig::ae_leopard();
+        let profiles: Vec<(&'static str, usize, HeadSimResult)> = ModelFamily::ALL
+            .iter()
+            .map(|&family| {
+                let task = suite
+                    .iter()
+                    .find(|t| t.family == family)
+                    .expect("every family has at least one suite task");
+                let workload = build_head_workload(task, &options, 0);
+                (
+                    family.name(),
+                    sim_seq_len(task, &options),
+                    simulate_head(&workload, &config),
+                )
+            })
+            .collect();
+        CostModel::fit_from_results(
+            profiles
+                .iter()
+                .map(|(name, seq_len, result)| FitObservation {
+                    family: name,
+                    result,
+                    config: &config,
+                    seq_len: *seq_len,
+                }),
+        )
+    })
+}
+
 /// Predicted cycles for one simulation unit of a task (one head on one tile
-/// configuration), from the analytical cost model — no simulation runs. The
-/// paper-reported pruning rate stands in for the measured one, which is what
-/// makes the prediction available *before* execution, on a scheduling path.
+/// configuration), from the fitted cost model — no simulation runs on this
+/// path. The paper-reported pruning rate stands in for the measured one,
+/// which is what makes the prediction available *before* execution, on a
+/// scheduling path.
 pub fn predict_unit_cycles(
     task: &TaskDescriptor,
     options: &PipelineOptions,
     kind: SimUnitKind,
 ) -> u64 {
-    leopard_accel::cost::predict_head_cycles(
+    fitted_cost_model().predict_head_cycles(
+        task.family.name(),
         &kind.tile_config(),
         sim_seq_len(task, options),
         task.paper_pruning_rate as f64,
@@ -206,13 +259,16 @@ pub fn predict_task_cycles(task: &TaskDescriptor, options: &PipelineOptions) -> 
 
 /// Predicted cycles to serve one inference request for this task (all heads
 /// on the single serving configuration `config`), used by the serving-mode
-/// admission scheduler in `leopard-runtime`.
+/// admission scheduler and SLO admission controller in `leopard-runtime`.
+/// Predictions come from the [`fitted_cost_model`], so the per-family
+/// early-termination savings sharpen both LJF and SJF ordering.
 pub fn predict_serving_cycles(
     task: &TaskDescriptor,
     options: &PipelineOptions,
     config: &TileConfig,
 ) -> u64 {
-    leopard_accel::cost::predict_request_cycles(
+    fitted_cost_model().predict_request_cycles(
+        task.family.name(),
         config,
         sim_seq_len(task, options),
         options.heads,
@@ -548,6 +604,41 @@ mod tests {
             serving,
             predict_unit_cycles(&suite[0], &options, SimUnitKind::AeLeopard)
         );
+    }
+
+    #[test]
+    fn fitted_cost_model_covers_every_family_and_sharpens_predictions() {
+        let model = fitted_cost_model();
+        assert_eq!(
+            model.fitted_families(),
+            ModelFamily::ALL.len(),
+            "calibration must fit a saving for every family"
+        );
+        // Fitted savings differ across families — that per-family spread is
+        // the information the flat analytical constant throws away.
+        let savings: Vec<f64> = ModelFamily::ALL
+            .iter()
+            .map(|f| model.saving(f.name()))
+            .collect();
+        let spread = savings.iter().cloned().fold(f64::MIN, f64::max)
+            - savings.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.01, "family savings all equal: {savings:?}");
+        // The fitted prediction still lands within a small constant factor
+        // of the measured cycles for a heavily-pruned and a lightly-pruned
+        // family alike.
+        let suite = full_suite();
+        let options = quick_options();
+        for task in [&suite[0], suite.last().unwrap()] {
+            let workload = build_head_workload(task, &options, 0);
+            let actual = simulate_head(&workload, &TileConfig::ae_leopard()).total_cycles;
+            let predicted = predict_unit_cycles(task, &options, SimUnitKind::AeLeopard);
+            let ratio = predicted as f64 / actual as f64;
+            assert!(
+                (0.3..=3.0).contains(&ratio),
+                "{}: predicted {predicted} vs actual {actual}",
+                task.name
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Serving-mode latency comparison: replay the same deterministic request
-//! stream under FIFO and longest-predicted-job-first admission and print
-//! the latency percentiles side by side.
+//! Serving-mode scenario comparison: replay the same deterministic request
+//! stream under every arrival process (steady / bursty / diurnal) and every
+//! admission policy (FIFO / LJF / SJF), plus one SLO-constrained run, and
+//! print the latency percentiles side by side.
 //!
 //! Run with:
 //!
@@ -12,9 +13,11 @@
 //! bit-identical for every thread count; only the wall-clock time changes.
 //! The default operating point oversubscribes the virtual tiles (a backlog
 //! forms), which is the regime where admission order matters — LJF keeps
-//! the long requests off the end of the schedule and cuts the tail.
+//! the long requests off the end of the schedule and cuts the tail, while
+//! SJF lets the many short requests overtake the long ones and cuts the
+//! median.
 
-use leopard::runtime::serving::{run_serving, ServingOptions};
+use leopard::runtime::serving::{run_serving, ArrivalProcess, ServingOptions};
 use leopard::runtime::{SchedulePolicy, SuiteRunner};
 use leopard::workloads::suite::full_suite;
 use leopard_bench::harness_threads;
@@ -33,40 +36,70 @@ fn main() {
         runner.threads()
     );
 
-    let mut rows = Vec::new();
-    for policy in SchedulePolicy::ALL {
-        let report = run_serving(
-            &runner,
-            &suite,
-            &ServingOptions {
-                policy,
-                ..base.clone()
-            },
-        );
-        rows.push((policy, report.latency(), report.max_queue_depth()));
-    }
-
     println!(
-        "\n{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "schedule", "p50 us", "p95 us", "p99 us", "max us", "max queue"
+        "\n{:<10} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "arrivals", "schedule", "p50 us", "p95 us", "p99 us", "max us", "max queue"
     );
-    for (policy, latency, depth) in &rows {
-        println!(
-            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10}",
-            policy.label(),
-            latency.p50_us,
-            latency.p95_us,
-            latency.p99_us,
-            latency.max_us,
-            depth
-        );
+    let mut fifo_reference = None;
+    for arrivals in ArrivalProcess::ALL {
+        for policy in SchedulePolicy::ALL {
+            let report = run_serving(
+                &runner,
+                &suite,
+                &ServingOptions {
+                    arrivals,
+                    policy,
+                    ..base.clone()
+                },
+            );
+            let latency = report.latency();
+            println!(
+                "{:<10} {:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10}",
+                arrivals.label(),
+                policy.label(),
+                latency.p50_us,
+                latency.p95_us,
+                latency.p99_us,
+                latency.max_us,
+                report.max_queue_depth()
+            );
+            if arrivals == ArrivalProcess::Steady && policy == SchedulePolicy::Fifo {
+                fifo_reference = Some(latency);
+            }
+            if arrivals == ArrivalProcess::Steady && policy != SchedulePolicy::Fifo {
+                let fifo = fifo_reference.expect("fifo runs first");
+                println!(
+                    "{:<21} vs fifo: p50 {:+.1}%, p99 {:+.1}%, max {:+.1}%",
+                    "",
+                    (latency.p50_us / fifo.p50_us - 1.0) * 100.0,
+                    (latency.p99_us / fifo.p99_us - 1.0) * 100.0,
+                    (latency.max_us / fifo.max_us - 1.0) * 100.0,
+                );
+            }
+        }
     }
 
-    let (_, fifo, _) = rows[0];
-    let (_, ljf, _) = rows[1];
+    // One SLO-constrained run: shed what cannot make the deadline, report
+    // goodput over the survivors.
+    let slo = 12_000u64;
+    let report = run_serving(
+        &runner,
+        &suite,
+        &ServingOptions {
+            slo_cycles: Some(slo),
+            ..base.clone()
+        },
+    );
+    let latency = report.latency();
     println!(
-        "\nlongest-job-first vs arrival order: p99 {:+.1}%, max {:+.1}%",
-        (ljf.p99_us / fifo.p99_us - 1.0) * 100.0,
-        (ljf.max_us / fifo.max_us - 1.0) * 100.0,
+        "\nslo {} cycles (steady/fifo): shed {} of {} offered ({:.1}%), admitted p99 {:.2} us, \
+         goodput {:.0} req/s (throughput {:.0})",
+        slo,
+        report.shed.len(),
+        report.offered(),
+        report.shed_rate() * 100.0,
+        latency.p99_us,
+        report.goodput_rps(),
+        report.throughput_rps(),
     );
 }
