@@ -1,0 +1,471 @@
+//! The incremental bit-plane QK kernel — the fast path of the simulator's
+//! inner loop.
+//!
+//! [`QkDpu::compute`](crate::dpu::QkDpu::compute) re-derives the partial dot
+//! product *and* the conservative margin from scratch (two O(d) passes) on
+//! every bit-serial cycle of every (Q row, K column) pair, which makes a
+//! head simulation O(s²·d·cycles) with ~2× redundant work. [`QkKernel`]
+//! computes bit-identical [`DotProductOutcome`]s from the packed
+//! [`KPlanes`] layout with three algorithmic changes:
+//!
+//! 1. **Incremental partial sums.** Cycle `c` adds only the contribution of
+//!    its newly revealed bit planes: `Σ_{b ∈ revealed(c)} 2^b · S_b` where
+//!    `S_b` is the K-sign-weighted Q sum over plane `b`'s set bits.
+//! 2. **Factored margins.** The margin collapses to
+//!    `max_remaining_magnitude(c) × Σ_{concordant} |q_i|`; the concordant
+//!    sum is computed once per pair in O(d) words, the per-cycle margin is
+//!    one multiply.
+//! 3. **Row batching.** For one Q row against all `s` K columns, the kernel
+//!    pre-tabulates byte-indexed subset sums of the row (`Σ q_i` and
+//!    `Σ |q_i|` for every 8-element mask byte), so plane sums and concordant
+//!    sums become table lookups — 16 lookups per 64 elements instead of 64
+//!    multiplies — amortizing O(d·256) table construction over the row.
+//!
+//! All arithmetic is exact integer math, so every outcome field (cycles,
+//! bits processed, termination, pruning, partial sum) is **bit-identical**
+//! to the reference DPU — the differential property tests at the bottom of
+//! this file and the `kernel ≡ reference` contract in ARCHITECTURE.md pin
+//! that equivalence across all tile presets and bit-serial granularities.
+
+use crate::config::TileConfig;
+use crate::dpu::DotProductOutcome;
+use leopard_quant::bitserial::BitSerialPlan;
+use leopard_quant::planes::KPlanes;
+
+/// Subset-sum tables for one Q row: for every 8-element group `g` and mask
+/// byte `m`, `signed[g * 256 + m] = Σ_{j ∈ m} q[8g + j]` and
+/// `abs[g * 256 + m] = Σ_{j ∈ m} |q[8g + j]|`. Reused across rows — call
+/// [`QkKernel::prepare_row`] to retarget it.
+#[derive(Debug, Default, Clone)]
+pub struct RowScratch {
+    signed: Vec<i64>,
+    abs: Vec<i64>,
+    /// Bit `i` set when `q[i] > 0` (per 64-element word).
+    q_pos: Vec<u64>,
+    /// Bit `i` set when `q[i] < 0`.
+    q_neg: Vec<u64>,
+    len: usize,
+}
+
+impl RowScratch {
+    /// Creates an empty scratch; sized lazily by the first `prepare_row`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A precomputed QK kernel for one tile configuration: the bit-serial
+/// schedule, the per-cycle remaining-magnitude caps, and the plane-reveal
+/// windows, validated once instead of per dot product.
+#[derive(Debug, Clone)]
+pub struct QkKernel {
+    config: TileConfig,
+    plan: BitSerialPlan,
+    total_cycles: u32,
+    /// Fully parallel (baseline) mode: `serial_bits >= k_bits`.
+    parallel: bool,
+    pruning: bool,
+    early_termination: bool,
+    /// `max_remaining_magnitude(c)` for `c` in `0..=total_cycles`.
+    mrm: Vec<i64>,
+    /// Plane indices `[lo, hi)` revealed by cycle `c` (index `c - 1`).
+    reveal: Vec<(u32, u32)>,
+}
+
+impl QkKernel {
+    /// Builds the kernel for a tile configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: TileConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
+        let plan = config.bit_serial_plan();
+        let parallel = config.serial_bits >= config.k_bits;
+        let total_cycles = if parallel { 1 } else { plan.total_cycles() };
+        let mrm = (0..=plan.total_cycles())
+            .map(|c| plan.max_remaining_magnitude(c) as i64)
+            .collect();
+        let reveal = (1..=plan.total_cycles())
+            .map(|c| {
+                let lo = plan.magnitude_bits - plan.bits_after(c);
+                let hi = plan.magnitude_bits - plan.bits_after(c - 1);
+                (lo, hi)
+            })
+            .collect();
+        Self {
+            config,
+            plan,
+            total_cycles,
+            parallel,
+            pruning: config.pruning_enabled,
+            early_termination: config.pruning_enabled && config.early_termination,
+            mrm,
+            reveal,
+        }
+    }
+
+    /// The tile configuration this kernel follows.
+    pub fn config(&self) -> &TileConfig {
+        &self.config
+    }
+
+    /// The bit-serial schedule K magnitudes follow.
+    pub fn plan(&self) -> BitSerialPlan {
+        self.plan
+    }
+
+    /// Fills `scratch` with the subset-sum tables and sign masks of one Q
+    /// row, ready for any number of [`compute_into`](Self::compute_into)
+    /// calls against K columns of the same dimension.
+    pub fn prepare_row(&self, q_codes: &[i32], scratch: &mut RowScratch) {
+        let words = q_codes.len().div_ceil(64).max(1);
+        let groups = words * 8;
+        scratch.len = q_codes.len();
+        scratch.signed.clear();
+        scratch.signed.resize(groups * 256, 0);
+        scratch.abs.clear();
+        scratch.abs.resize(groups * 256, 0);
+        scratch.q_pos.clear();
+        scratch.q_pos.resize(words, 0);
+        scratch.q_neg.clear();
+        scratch.q_neg.resize(words, 0);
+        for (i, &q) in q_codes.iter().enumerate() {
+            if q > 0 {
+                scratch.q_pos[i / 64] |= 1 << (i % 64);
+            } else if q < 0 {
+                scratch.q_neg[i / 64] |= 1 << (i % 64);
+            }
+        }
+        for g in 0..groups {
+            let base = g * 8;
+            let signed = &mut scratch.signed[g * 256..(g + 1) * 256];
+            let abs = &mut scratch.abs[g * 256..(g + 1) * 256];
+            for m in 1usize..256 {
+                let j = m.trailing_zeros() as usize;
+                let rest = m & (m - 1);
+                let q = if base + j < q_codes.len() {
+                    q_codes[base + j] as i64
+                } else {
+                    0
+                };
+                signed[m] = signed[rest] + q;
+                abs[m] = abs[rest] + q.abs();
+            }
+        }
+    }
+
+    /// Signed plane sum `S_b` via table lookups: positive-K bytes add their
+    /// subset sums, negative-K bytes subtract.
+    #[inline]
+    fn plane_sum(scratch: &RowScratch, plane: &[u64], sign: &[u64]) -> i64 {
+        let mut sum = 0i64;
+        for (w, (&p, &s)) in plane.iter().zip(sign.iter()).enumerate() {
+            if p == 0 {
+                continue;
+            }
+            let pos = p & !s;
+            let neg = p & s;
+            let g = w * 8 * 256;
+            for byte in 0..8 {
+                let table = &scratch.signed[g + byte * 256..g + (byte + 1) * 256];
+                sum += table[((pos >> (byte * 8)) & 0xFF) as usize];
+                sum -= table[((neg >> (byte * 8)) & 0xFF) as usize];
+            }
+        }
+        sum
+    }
+
+    /// The concordant |Q| sum for one pair: `Σ |q_i|` where `q_i != 0`, the
+    /// K magnitude is nonzero, and the signs agree.
+    #[inline]
+    fn concordant_sum(scratch: &RowScratch, k: &KPlanes) -> i64 {
+        let mut sum = 0i64;
+        for (w, ((&sign, &nonzero), (&q_pos, &q_neg))) in k
+            .sign_mask()
+            .iter()
+            .zip(k.nonzero_mask().iter())
+            .zip(scratch.q_pos.iter().zip(scratch.q_neg.iter()))
+            .enumerate()
+        {
+            let concordant = ((sign & q_neg) | (!sign & q_pos)) & nonzero;
+            if concordant == 0 {
+                continue;
+            }
+            let g = w * 8 * 256;
+            for byte in 0..8 {
+                let table = &scratch.abs[g + byte * 256..g + (byte + 1) * 256];
+                sum += table[((concordant >> (byte * 8)) & 0xFF) as usize];
+            }
+        }
+        sum
+    }
+
+    /// Computes one dot-product outcome against a prepared row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`'s length differs from the prepared row's or its
+    /// magnitude width differs from the kernel's plan.
+    pub fn compute_into(
+        &self,
+        scratch: &RowScratch,
+        k: &KPlanes,
+        threshold: i64,
+    ) -> DotProductOutcome {
+        assert_eq!(k.len(), scratch.len, "Q and K dimension mismatch");
+        assert_eq!(
+            k.magnitude_bits(),
+            self.plan.magnitude_bits,
+            "K planes were decomposed for a different magnitude width"
+        );
+
+        // Fully parallel (baseline) mode: one cycle, exact result.
+        if self.parallel {
+            let exact: i64 = (0..self.plan.magnitude_bits)
+                .map(|b| Self::plane_sum(scratch, k.plane(b), k.sign_mask()) << b)
+                .sum();
+            return DotProductOutcome {
+                cycles: 1,
+                bits_processed: self.plan.magnitude_bits,
+                terminated_early: false,
+                pruned: self.pruning && exact < threshold,
+                partial_sum: exact,
+            };
+        }
+
+        let concordant = if self.early_termination {
+            Self::concordant_sum(scratch, k)
+        } else {
+            0
+        };
+        let mut partial = 0i64;
+        for cycle in 1..=self.total_cycles {
+            let (lo, hi) = self.reveal[(cycle - 1) as usize];
+            for b in lo..hi {
+                partial += Self::plane_sum(scratch, k.plane(b), k.sign_mask()) << b;
+            }
+            if self.early_termination {
+                let margin = self.mrm[cycle as usize] * concordant;
+                if partial + margin < threshold {
+                    return DotProductOutcome {
+                        cycles: cycle,
+                        bits_processed: self.plan.bits_after(cycle),
+                        terminated_early: cycle < self.total_cycles,
+                        pruned: true,
+                        partial_sum: partial,
+                    };
+                }
+            }
+            if cycle == self.total_cycles {
+                return DotProductOutcome {
+                    cycles: self.total_cycles,
+                    bits_processed: self.plan.magnitude_bits,
+                    terminated_early: false,
+                    pruned: self.pruning && partial < threshold,
+                    partial_sum: partial,
+                };
+            }
+        }
+        unreachable!("loop always returns on the last cycle")
+    }
+
+    /// Row-batched outcomes: prepares `q_row` once and computes the outcome
+    /// for every K column, appending into `out` (cleared first). `scratch`
+    /// and `out` are caller-owned so a head simulation reuses them across
+    /// rows instead of reallocating.
+    pub fn compute_row_into(
+        &self,
+        q_row: &[i32],
+        keys: &[KPlanes],
+        threshold: i64,
+        scratch: &mut RowScratch,
+        out: &mut Vec<DotProductOutcome>,
+    ) {
+        self.prepare_row(q_row, scratch);
+        out.clear();
+        out.reserve(keys.len());
+        for k in keys {
+            out.push(self.compute_into(scratch, k, threshold));
+        }
+    }
+
+    /// Row-batched outcomes, allocating the result vector (the convenience
+    /// form of [`compute_row_into`](Self::compute_row_into)).
+    pub fn compute_row_outcomes(
+        &self,
+        q_row: &[i32],
+        keys: &[KPlanes],
+        threshold: i64,
+    ) -> Vec<DotProductOutcome> {
+        let mut scratch = RowScratch::new();
+        let mut out = Vec::new();
+        self.compute_row_into(q_row, keys, threshold, &mut scratch, &mut out);
+        out
+    }
+
+    /// Computes a single dot-product outcome (prepares the row internally;
+    /// prefer the row-batched forms in hot loops).
+    pub fn compute(&self, q_codes: &[i32], k: &KPlanes, threshold: i64) -> DotProductOutcome {
+        let mut scratch = RowScratch::new();
+        self.prepare_row(q_codes, &mut scratch);
+        self.compute_into(&scratch, k, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpu::QkDpu;
+    use leopard_quant::bitserial::BitSerialVector;
+    use leopard_tensor::rng;
+    use proptest::prelude::*;
+
+    fn random_codes(n: usize, seed: u64, max: i32) -> Vec<i32> {
+        use rand::Rng;
+        let mut r = rng::seeded(seed);
+        (0..n).map(|_| r.gen_range(-max..=max)).collect()
+    }
+
+    /// The four studied tile presets, the set every differential test runs.
+    fn presets() -> [TileConfig; 4] {
+        [
+            TileConfig::baseline(),
+            TileConfig::ae_leopard(),
+            TileConfig::hp_leopard(),
+            TileConfig::pruning_only(),
+        ]
+    }
+
+    fn assert_kernel_matches_reference(
+        config: TileConfig,
+        q: &[i32],
+        k_codes: &[i32],
+        threshold: i64,
+    ) {
+        let kernel = QkKernel::new(config);
+        let dpu = QkDpu::new(config);
+        let plan = config.bit_serial_plan();
+        let k_vec = BitSerialVector::new(k_codes, plan);
+        let k_planes = KPlanes::new(k_codes, plan.magnitude_bits);
+        let reference = dpu.compute(q, &k_vec, threshold);
+        let fast = kernel.compute(q, &k_planes, threshold);
+        assert_eq!(
+            fast, reference,
+            "kernel diverged from reference on {} (serial_bits {})",
+            config.name, config.serial_bits
+        );
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_all_presets() {
+        for config in presets() {
+            for seed in 0..20u64 {
+                let q = random_codes(64, seed, 2047);
+                let k = random_codes(64, seed + 500, 2047);
+                for threshold in [-100_000, -1_000, 0, 1_000, 100_000] {
+                    assert_kernel_matches_reference(config, &q, &k, threshold);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_across_word_boundaries() {
+        for d in [1usize, 7, 63, 64, 65, 100, 128, 130] {
+            let q = random_codes(d, d as u64, 2047);
+            let k = random_codes(d, d as u64 + 999, 2047);
+            for config in presets() {
+                assert_kernel_matches_reference(config, &q, &k, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn row_batched_outcomes_equal_per_pair_outcomes() {
+        let config = TileConfig::ae_leopard();
+        let kernel = QkKernel::new(config);
+        let plan = config.bit_serial_plan();
+        let q = random_codes(64, 1, 2047);
+        let keys: Vec<KPlanes> = (0..16)
+            .map(|j| KPlanes::new(&random_codes(64, 100 + j, 2047), plan.magnitude_bits))
+            .collect();
+        let batched = kernel.compute_row_outcomes(&q, &keys, 50);
+        assert_eq!(batched.len(), keys.len());
+        for (j, k) in keys.iter().enumerate() {
+            assert_eq!(batched[j], kernel.compute(&q, k, 50));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_rows_is_clean() {
+        // A wide row followed by a narrow one must not see stale tables.
+        let config = TileConfig::ae_leopard();
+        let kernel = QkKernel::new(config);
+        let bits = config.bit_serial_plan().magnitude_bits;
+        let mut scratch = RowScratch::new();
+        let mut out = Vec::new();
+
+        let q_wide = random_codes(100, 3, 2047);
+        let keys_wide = vec![KPlanes::new(&random_codes(100, 4, 2047), bits)];
+        kernel.compute_row_into(&q_wide, &keys_wide, 0, &mut scratch, &mut out);
+        let wide = out.clone();
+
+        let q_narrow = random_codes(8, 5, 2047);
+        let keys_narrow = vec![KPlanes::new(&random_codes(8, 6, 2047), bits)];
+        kernel.compute_row_into(&q_narrow, &keys_narrow, 0, &mut scratch, &mut out);
+        assert_eq!(out[0], kernel.compute(&q_narrow, &keys_narrow[0], 0));
+
+        kernel.compute_row_into(&q_wide, &keys_wide, 0, &mut scratch, &mut out);
+        assert_eq!(out, wide, "re-prepared wide row must reproduce itself");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_lengths_panic() {
+        let kernel = QkKernel::new(TileConfig::ae_leopard());
+        let k = KPlanes::new(&[1, 2, 3], 11);
+        let _ = kernel.compute(&[1, 2], &k, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different magnitude width")]
+    fn mismatched_magnitude_width_panics() {
+        let kernel = QkKernel::new(TileConfig::ae_leopard());
+        let k = KPlanes::new(&[1, 2], 5);
+        let _ = kernel.compute(&[1, 2], &k, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The differential contract: for random (Q, K, threshold), every
+        /// bit-serial granularity in 1..=4, and all four tile presets, the
+        /// kernel's outcome equals the reference DPU's outcome exactly —
+        /// every field, including cycle counts and partial sums.
+        #[test]
+        fn prop_kernel_outcome_equals_reference_dpu(
+            pairs in proptest::collection::vec((-2047i32..=2047, -2047i32..=2047), 1..80),
+            threshold in -200_000i64..200_000,
+            bits_per_cycle in 1u32..=4,
+            preset in 0u32..4,
+        ) {
+            let q: Vec<i32> = pairs.iter().map(|p| p.0).collect();
+            let k: Vec<i32> = pairs.iter().map(|p| p.1).collect();
+            let base = presets()[preset as usize];
+            for config in [base, base.with_serial_bits(bits_per_cycle)] {
+                let kernel = QkKernel::new(config);
+                let dpu = QkDpu::new(config);
+                let plan = config.bit_serial_plan();
+                let k_vec = BitSerialVector::new(&k, plan);
+                let k_planes = KPlanes::new(&k, plan.magnitude_bits);
+                prop_assert_eq!(
+                    kernel.compute(&q, &k_planes, threshold),
+                    dpu.compute(&q, &k_vec, threshold)
+                );
+            }
+        }
+    }
+}

@@ -11,11 +11,18 @@
 //!   (6 DPUs, iso-area) and HP (8 DPUs, +15% area) presets and the unpruned
 //!   baseline.
 //! * [`dpu`] — the bit-serial dot-product unit with dynamic margin
-//!   calculation and exact early termination (Figure 3 / Figure 5).
+//!   calculation and exact early termination (Figure 3 / Figure 5). This is
+//!   the scalar *reference* implementation.
+//! * [`kernel`] — the incremental bit-plane QK kernel: row-batched,
+//!   table-driven arithmetic over `leopard_quant::planes::KPlanes` that
+//!   produces outcomes bit-identical to the reference DPU, several times
+//!   faster (the simulator's hot path).
 //! * [`sim`] — the tile simulator: Q rows stream through `N_QK` DPUs, pruned
 //!   scores never reach the back-end, surviving scores queue through the
 //!   Score/IDX FIFOs to the V-PU; the simulator reports cycle counts, event
-//!   counts, V-PU utilization, and bit-profile statistics.
+//!   counts, V-PU utilization, and bit-profile statistics. Runs on the
+//!   kernel; `sim::simulate_head_reference` retains the DPU path for
+//!   differential tests and benchmarks.
 //! * [`baseline`] — the same tile without pruning or bit-serial early
 //!   termination (one full-precision dot product per cycle), the comparison
 //!   point for Figures 9–11.
@@ -55,6 +62,7 @@ pub mod config;
 pub mod cost;
 pub mod dpu;
 pub mod energy;
+pub mod kernel;
 pub mod schedule;
 pub mod sim;
 pub mod softmax;
@@ -63,6 +71,7 @@ pub use config::TileConfig;
 pub use cost::{head_cost, HeadCost};
 pub use dpu::{DotProductOutcome, QkDpu};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use kernel::{QkKernel, RowScratch};
 pub use schedule::{schedule_layer, schedule_model, LayerSchedule, ModelSchedule};
-pub use sim::{simulate_head, HeadSimResult, HeadWorkload};
+pub use sim::{simulate_head, simulate_head_reference, HeadSimResult, HeadWorkload};
 pub use softmax::{SoftmaxLut, SoftmaxLutConfig};

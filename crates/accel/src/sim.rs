@@ -11,13 +11,23 @@
 //!
 //! The simulator's outputs are cycle counts, event counts (for the energy
 //! model), per-row utilization, and the bit-profile histogram behind Figure 8.
+//!
+//! Two interchangeable inner loops produce the per-pair dot-product
+//! outcomes: [`simulate_head`] runs the incremental bit-plane kernel
+//! ([`crate::kernel`]), [`simulate_head_reference`] the scalar per-element
+//! DPU ([`crate::dpu`]). Their results are bit-identical by contract; both
+//! share one accounting loop, so the equivalence reduces to the per-pair
+//! outcomes the differential tests pin down.
 
 use crate::config::TileConfig;
-use crate::dpu::QkDpu;
+use crate::dpu::{DotProductOutcome, QkDpu};
+use crate::kernel::{QkKernel, RowScratch};
 use leopard_quant::bitserial::BitSerialVector;
 use leopard_quant::fixed::QuantParams;
+use leopard_quant::planes::KPlanes;
 use leopard_tensor::Matrix;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// A quantized attention-head workload ready for simulation.
 #[derive(Debug, Clone)]
@@ -30,6 +40,17 @@ pub struct HeadWorkload {
     pub threshold_int: i64,
     /// Head dimension `d`.
     pub head_dim: usize,
+    /// Packed bit-plane decomposition of `k_codes`, built **once** at
+    /// construction and shared by every simulation unit of this head (the
+    /// runtime cache hands the whole workload out behind an `Arc`, so the
+    /// four per-configuration units never rebuild it).
+    ///
+    /// Invariant: this must stay in sync with `k_codes` — build workloads
+    /// through [`HeadWorkload::from_codes`] / [`HeadWorkload::from_float`]
+    /// rather than mutating `k_codes` in place. A struct literal may leave
+    /// it empty (the kernel path then re-decomposes), but stale planes for
+    /// *different* same-shape codes cannot be detected cheaply.
+    pub k_planes: Vec<KPlanes>,
 }
 
 impl HeadWorkload {
@@ -50,17 +71,66 @@ impl HeadWorkload {
         // real_score = int_dot * product_scale / sqrt(d) ⇒ threshold_int.
         let score_scale = qq.product_scale(&kq) / (d as f32).sqrt();
         let threshold_int = (threshold / score_scale).round() as i64;
-        Self {
-            q_codes: (0..q.rows()).map(|r| qq.row(r).to_vec()).collect(),
-            k_codes: (0..k.rows()).map(|r| kq.row(r).to_vec()).collect(),
+        Self::from_codes(
+            (0..q.rows()).map(|r| qq.row(r).to_vec()).collect(),
+            (0..k.rows()).map(|r| kq.row(r).to_vec()).collect(),
             threshold_int,
-            head_dim: d,
+            d,
+            qk_bits,
+        )
+    }
+
+    /// Builds a workload from already-quantized codes, decomposing K into
+    /// bit planes for the `qk_bits - 1` magnitude bits of the operand width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any K magnitude does not fit in `qk_bits - 1` bits.
+    pub fn from_codes(
+        q_codes: Vec<Vec<i32>>,
+        k_codes: Vec<Vec<i32>>,
+        threshold_int: i64,
+        head_dim: usize,
+        qk_bits: u32,
+    ) -> Self {
+        let k_planes = k_codes
+            .iter()
+            .map(|codes| KPlanes::new(codes, qk_bits - 1))
+            .collect();
+        Self {
+            q_codes,
+            k_codes,
+            threshold_int,
+            head_dim,
+            k_planes,
         }
     }
 
     /// Sequence length of the workload.
     pub fn seq_len(&self) -> usize {
         self.q_codes.len()
+    }
+
+    /// The bit-plane decomposition at a given magnitude width: the prebuilt
+    /// planes when the width matches (the hot path — every tile preset
+    /// shares the 12-bit operand width), a fresh decomposition otherwise
+    /// (e.g. a workload quantized narrower than the simulated tile).
+    pub fn k_planes_at(&self, magnitude_bits: u32) -> Cow<'_, [KPlanes]> {
+        let prebuilt_usable = self.k_planes.len() == self.k_codes.len()
+            && self
+                .k_planes
+                .first()
+                .is_none_or(|p| p.magnitude_bits() == magnitude_bits);
+        if prebuilt_usable {
+            Cow::Borrowed(&self.k_planes)
+        } else {
+            Cow::Owned(
+                self.k_codes
+                    .iter()
+                    .map(|codes| KPlanes::new(codes, magnitude_bits))
+                    .collect(),
+            )
+        }
     }
 }
 
@@ -161,21 +231,37 @@ impl HeadSimResult {
     }
 }
 
-/// Simulates one attention head on a tile.
+/// Simulates one attention head on a tile, on the fast incremental
+/// bit-plane kernel ([`QkKernel`]). Results are **bit-identical** to
+/// [`simulate_head_reference`] — the kernel ≡ reference contract enforced
+/// by the differential tests.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid or the workload is degenerate
 /// (zero-length sequence).
 pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimResult {
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
-    let s = workload.seq_len();
-    assert!(s > 0, "workload must contain at least one query");
-    let dpu = QkDpu::new(*config);
-    let plan = config.bit_serial_plan();
+    let kernel = QkKernel::new(*config); // validates the config once per head
+    let planes = workload.k_planes_at(kernel.plan().magnitude_bits);
+    let mut scratch = RowScratch::new();
+    let threshold = workload.threshold_int;
+    accumulate_head(workload, config, |q_row, out| {
+        kernel.compute_row_into(q_row, &planes, threshold, &mut scratch, out);
+    })
+}
 
+/// Simulates one attention head with the scalar per-pair [`QkDpu`] — the
+/// retained reference implementation the kernel path is differentially
+/// tested (and benchmarked) against. Same accounting, same results, no
+/// incremental arithmetic.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the workload is degenerate
+/// (zero-length sequence).
+pub fn simulate_head_reference(workload: &HeadWorkload, config: &TileConfig) -> HeadSimResult {
+    let dpu = QkDpu::new(*config); // validates the config once per head
+    let plan = config.bit_serial_plan();
     // Pre-decompose the K matrix once (the hardware stores K in the key
     // buffer in bit-serial layout before the Q stream starts).
     let k_vectors: Vec<BitSerialVector> = workload
@@ -183,6 +269,26 @@ pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimRes
         .iter()
         .map(|codes| BitSerialVector::new(codes, plan))
         .collect();
+    let threshold = workload.threshold_int;
+    accumulate_head(workload, config, |q_row, out| {
+        out.clear();
+        out.extend(k_vectors.iter().map(|k| dpu.compute(q_row, k, threshold)));
+    })
+}
+
+/// The shared accounting loop behind both simulation paths: feeds every Q
+/// row through `row_outcomes` (which fills one [`DotProductOutcome`] per K
+/// column) and turns the outcomes into cycle timing, event counts, and
+/// histograms. Keeping a single implementation here is what makes the
+/// kernel ≡ reference equivalence a statement about outcomes only.
+fn accumulate_head(
+    workload: &HeadWorkload,
+    config: &TileConfig,
+    mut row_outcomes: impl FnMut(&[i32], &mut Vec<DotProductOutcome>),
+) -> HeadSimResult {
+    let s = workload.seq_len();
+    assert!(s > 0, "workload must contain at least one query");
+    let plan = config.bit_serial_plan();
 
     let mut events = EventCounts::default();
     let mut pruned_scores = 0u64;
@@ -205,12 +311,16 @@ pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimRes
                                     // matching the 1-D MAC array that consumes scores sequentially.
     let backend_cycles_per_score = 1u64;
 
+    // Row-level buffers, allocated once per head and reused across rows.
+    let mut dpu_cycles = vec![0u64; config.n_qk_dpu];
+    let mut outcomes: Vec<DotProductOutcome> = Vec::with_capacity(workload.k_codes.len());
+
     for q_row in &workload.q_codes {
         // --- Front-end: distribute the s key columns over the N_QK DPUs.
-        let mut dpu_cycles = vec![0u64; config.n_qk_dpu];
+        row_outcomes(q_row, &mut outcomes);
+        dpu_cycles.fill(0);
         let mut row_survivors = 0u64;
-        for (j, k_vec) in k_vectors.iter().enumerate() {
-            let outcome = dpu.compute(q_row, k_vec, workload.threshold_int);
+        for (j, outcome) in outcomes.iter().enumerate() {
             let dpu_idx = j % config.n_qk_dpu;
             dpu_cycles[dpu_idx] += u64::from(outcome.cycles);
             events.qk_dpu_cycles += u64::from(outcome.cycles);
@@ -393,7 +503,64 @@ mod tests {
             k_codes: vec![],
             threshold_int: 0,
             head_dim: 4,
+            k_planes: vec![],
         };
         let _ = simulate_head(&w, &TileConfig::ae_leopard());
+    }
+
+    #[test]
+    fn kernel_path_is_bit_identical_to_reference_path() {
+        // The kernel ≡ reference contract at head granularity: every
+        // HeadSimResult field (cycles, histograms, events, utilization)
+        // matches exactly, for every preset, on both sides of the pruning
+        // threshold and across word-boundary head dimensions.
+        for (s, d, threshold, seed) in [(24, 64, 0.3, 11), (16, 32, 0.0, 12), (9, 100, 0.5, 13)] {
+            let w = workload(s, d, threshold, seed);
+            for config in [
+                TileConfig::baseline(),
+                TileConfig::ae_leopard(),
+                TileConfig::hp_leopard(),
+                TileConfig::pruning_only(),
+            ] {
+                assert_eq!(
+                    simulate_head(&w, &config),
+                    simulate_head_reference(&w, &config),
+                    "kernel/reference divergence on {} (s={s}, d={d})",
+                    config.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_path_rebuilds_planes_when_workload_carries_none() {
+        // A hand-constructed workload (all fields are public) may omit the
+        // prebuilt decomposition entirely; the kernel path must rebuild it
+        // rather than silently simulating zero K columns.
+        let built = workload(12, 32, 0.2, 31);
+        let bare = HeadWorkload {
+            k_planes: vec![],
+            ..built.clone()
+        };
+        let cfg = TileConfig::ae_leopard();
+        assert_eq!(
+            simulate_head(&bare, &cfg),
+            simulate_head_reference(&bare, &cfg)
+        );
+        assert_eq!(simulate_head(&bare, &cfg), simulate_head(&built, &cfg));
+    }
+
+    #[test]
+    fn kernel_path_rebuilds_planes_on_magnitude_width_mismatch() {
+        // A workload quantized to 8 bits simulated on a 12-bit tile: the
+        // prebuilt 7-bit planes cannot serve the 11-bit plan, so the kernel
+        // path re-decomposes — and still matches the reference exactly.
+        let mut r = rng::seeded(21);
+        let q = rng::normal_matrix(&mut r, 12, 32, 0.0, 1.0);
+        let k = rng::normal_matrix(&mut r, 12, 32, 0.0, 1.0);
+        let w = HeadWorkload::from_float(&q, &k, 0.1, 8);
+        assert_eq!(w.k_planes[0].magnitude_bits(), 7);
+        let cfg = TileConfig::ae_leopard();
+        assert_eq!(simulate_head(&w, &cfg), simulate_head_reference(&w, &cfg));
     }
 }

@@ -1,11 +1,15 @@
-//! Micro-benchmarks of the hot kernels: dense vs bit-serial dot products and
-//! the early-termination path at different pruning thresholds.
+//! Micro-benchmarks of the hot kernels: dense vs bit-serial dot products,
+//! the early-termination path at different pruning thresholds, and the
+//! row-batched incremental bit-plane kernel against the scalar reference
+//! DPU.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use leopard_accel::config::TileConfig;
 use leopard_accel::dpu::QkDpu;
+use leopard_accel::kernel::{QkKernel, RowScratch};
 use leopard_quant::bitserial::BitSerialVector;
 use leopard_quant::fixed::QuantParams;
+use leopard_quant::planes::KPlanes;
 use leopard_tensor::rng;
 
 fn dot_product_kernels(c: &mut Criterion) {
@@ -45,5 +49,52 @@ fn dot_product_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, dot_product_kernels);
+fn row_batched_kernel(c: &mut Criterion) {
+    // One full-precision Q row against 256 K columns (one simulator row at
+    // s = 256, d = 64): the reference DPU loop versus the row-batched
+    // incremental kernel, with and without early termination pressure.
+    let d = 64usize;
+    let s = 256usize;
+    let mut r = rng::seeded(7);
+    let q = rng::normal_matrix(&mut r, 1, d, 0.0, 1.0);
+    let k = rng::normal_matrix(&mut r, s, d, 0.0, 1.0);
+    let qp = QuantParams::calibrate(12, &q);
+    let kp = QuantParams::calibrate(12, &k);
+    let qq = qp.quantize_matrix(&q);
+    let kq = kp.quantize_matrix(&k);
+
+    let ae = TileConfig::ae_leopard();
+    let dpu = QkDpu::new(ae);
+    let kernel = QkKernel::new(ae);
+    let plan = ae.bit_serial_plan();
+    let k_vecs: Vec<BitSerialVector> = (0..s)
+        .map(|j| BitSerialVector::new(kq.row(j), plan))
+        .collect();
+    let k_planes: Vec<KPlanes> = (0..s)
+        .map(|j| KPlanes::new(kq.row(j), plan.magnitude_bits))
+        .collect();
+
+    let mut group = c.benchmark_group("qk_row_256_cols");
+    for (label, threshold) in [("no_pruning", i64::MIN / 4), ("median_threshold", 0i64)] {
+        group.bench_function(&format!("reference_dpu/{label}"), |b| {
+            b.iter(|| {
+                k_vecs
+                    .iter()
+                    .map(|kv| dpu.compute(qq.row(0), kv, threshold).cycles as u64)
+                    .sum::<u64>()
+            })
+        });
+        group.bench_function(&format!("bitplane_kernel/{label}"), |b| {
+            let mut scratch = RowScratch::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                kernel.compute_row_into(qq.row(0), &k_planes, threshold, &mut scratch, &mut out);
+                out.iter().map(|o| o.cycles as u64).sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dot_product_kernels, row_batched_kernel);
 criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! Benchmarks of the cycle-level tile simulator across configurations and
-//! pruning rates (the engine behind Figures 9-11, 13, and 14).
+//! pruning rates (the engine behind Figures 9-11, 13, and 14), plus the
+//! head-level kernel-vs-reference comparison at the acceptance point
+//! (s = 256, d = 64, AE-LeOPArd).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use leopard_accel::config::TileConfig;
-use leopard_accel::sim::{simulate_head, HeadWorkload};
+use leopard_accel::sim::{simulate_head, simulate_head_reference, HeadWorkload};
 use leopard_workloads::pipeline::{synthesize_qk, threshold_for_rate};
 
 fn simulator(c: &mut Criterion) {
@@ -28,5 +30,26 @@ fn simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, simulator);
+fn kernel_vs_reference(c: &mut Criterion) {
+    // The perf-trajectory point: one 256-token, 64-dim head on the
+    // AE-LeOPArd tile (the same configuration `examples/kernel_bench.rs`
+    // records in BENCH_qk_kernel.json).
+    let (q, k) = synthesize_qk(256, 64, 0.35, 42);
+    let threshold = threshold_for_rate(&q, &k, 0.7);
+    let workload = HeadWorkload::from_float(&q, &k, threshold, 12);
+    let config = TileConfig::ae_leopard();
+
+    let mut group = c.benchmark_group("simulate_head_256x64_ae");
+    group.bench_with_input(BenchmarkId::new("kernel", "prune70%"), &workload, |b, w| {
+        b.iter(|| simulate_head(w, &config))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("reference", "prune70%"),
+        &workload,
+        |b, w| b.iter(|| simulate_head_reference(w, &config)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, simulator, kernel_vs_reference);
 criterion_main!(benches);

@@ -225,6 +225,11 @@ mod tests {
         assert_eq!(cached.q_codes, direct.q_codes);
         assert_eq!(cached.k_codes, direct.k_codes);
         assert_eq!(cached.threshold_int, direct.threshold_int);
+        // The bit-plane K decomposition rides along in the cached workload,
+        // so the four simulation units of a head (and every sweep design
+        // point that shares the operands) never rebuild it.
+        assert_eq!(cached.k_planes, direct.k_planes);
+        assert!(!cached.k_planes.is_empty());
     }
 
     #[test]

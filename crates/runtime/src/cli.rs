@@ -11,7 +11,8 @@
 //!   case-insensitively if needed — or case-insensitive substring) and
 //!   print its full result.
 //! * `leopard sweep --param nqk=2..10` — design-space sweep over a tile
-//!   parameter, reusing cached workloads across design points.
+//!   parameter (`nqk`, `serial-bits`, or the `qk-bits` quantization-width
+//!   ablation), reusing cached workloads across design points.
 //! * `leopard list` — list the suite's tasks.
 //!
 //! Shared flags: `--threads N` (0 = all cores), `--max-seq-len L`,
@@ -112,6 +113,11 @@ pub enum SweepParam {
     NQk,
     /// Bit-serial granularity `B` (Figure 14).
     SerialBits,
+    /// Q/K quantization bit width (the Table 2 ablation axis). Unlike the
+    /// other parameters this changes the *operands* too: each design point
+    /// re-quantizes the workload at the swept width, so the workload cache
+    /// keys one entry per `(task, width)`.
+    QkBits,
 }
 
 impl SweepParam {
@@ -119,6 +125,7 @@ impl SweepParam {
         match self {
             SweepParam::NQk => "nqk",
             SweepParam::SerialBits => "serial-bits",
+            SweepParam::QkBits => "qk-bits",
         }
     }
 }
@@ -142,7 +149,8 @@ USAGE:
     leopard serve [FLAGS]            replay a synthetic request stream and
                                      report latency percentiles
     leopard task <name> [FLAGS]      run one task (exact or substring match)
-    leopard sweep --param P=SPEC     sweep a tile parameter (nqk, serial-bits)
+    leopard sweep --param P=SPEC     sweep a tile parameter (nqk, serial-bits,
+                                     qk-bits)
     leopard list                     list the suite's tasks
     leopard help                     show this message
 
@@ -179,6 +187,8 @@ SERVE FLAGS:
 PARAM SPECS:
     --param nqk=2..10            inclusive range
     --param serial-bits=1,2,4,12 explicit list
+    --param qk-bits=4..12        Q/K quantization width ablation (re-quantizes
+                                 the operands at each width)
 ";
 
 /// Parses `a..b` (inclusive) or `a,b,c` into a value list.
@@ -225,6 +235,7 @@ fn parse_param(arg: &str) -> Result<(SweepParam, Vec<u32>), String> {
     let param = match name.trim() {
         "nqk" | "n_qk" => SweepParam::NQk,
         "serial-bits" | "serial_bits" | "granularity" => SweepParam::SerialBits,
+        "qk-bits" | "qk_bits" => SweepParam::QkBits,
         other => return Err(format!("unknown sweep parameter {other:?}")),
     };
     let values = parse_values(spec)?;
@@ -235,6 +246,7 @@ fn parse_param(arg: &str) -> Result<(SweepParam, Vec<u32>), String> {
         let ok = match param {
             SweepParam::NQk => (1..=64).contains(&v),
             SweepParam::SerialBits => (1..=12).contains(&v),
+            SweepParam::QkBits => (4..=16).contains(&v),
         };
         if !ok {
             return Err(format!("value {v} out of range for {}", param.label()));
@@ -712,12 +724,21 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
     for &value in &spec.values {
         let param = spec.param;
         let cache = Arc::clone(runner.cache());
-        let pipeline = common.pipeline;
+        // qk-bits sweeps re-quantize the operands at each design point; the
+        // other parameters reuse one workload per task across the sweep.
+        let pipeline = match param {
+            SweepParam::QkBits => PipelineOptions {
+                qk_bits: value,
+                ..common.pipeline
+            },
+            _ => common.pipeline,
+        };
         let rows = parallel_map(runner.pool(), tasks.clone(), move |_, task| {
             let workload = cache.head_workload(task, &pipeline, 0);
             let config = match param {
                 SweepParam::NQk => TileConfig::ae_leopard().with_n_qk(value as usize),
                 SweepParam::SerialBits => TileConfig::ae_leopard().with_serial_bits(value),
+                SweepParam::QkBits => TileConfig::ae_leopard().with_qk_bits(value),
             };
             let sim = simulate_head(&workload, &config);
             (
@@ -842,6 +863,45 @@ mod tests {
         assert!(parse_param("nqk=10..2").is_err());
         assert!(parse_param("bogus=1").is_err());
         assert!(parse_param("nqk=0..3").is_err(), "0 DPUs is invalid");
+    }
+
+    #[test]
+    fn parses_qk_bits_sweep() {
+        assert_eq!(
+            parse_param("qk-bits=4..12").unwrap(),
+            (SweepParam::QkBits, (4..=12).collect())
+        );
+        assert_eq!(
+            parse_param("qk_bits=9,12").unwrap(),
+            (SweepParam::QkBits, vec![9, 12])
+        );
+        // with_qk_bits accepts 4..=16; outside that the spec is rejected.
+        assert!(parse_param("qk-bits=3..6").is_err(), "3 bits is too narrow");
+        assert!(parse_param("qk-bits=17").is_err(), "17 bits is too wide");
+        match parse(&args(&["sweep", "--param", "qk-bits=4..12"])).unwrap() {
+            Command::Sweep(spec, _) => {
+                assert_eq!(spec.param, SweepParam::QkBits);
+                assert_eq!(spec.values.len(), 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qk_bits_sweep_runs_end_to_end() {
+        // A tiny end-to-end run: two quantization widths over the
+        // representative tasks at a short sequence cap. Exercises the
+        // re-quantization path (one cache entry per width).
+        run(&args(&[
+            "sweep",
+            "--param",
+            "qk-bits=8,12",
+            "--max-seq-len",
+            "16",
+            "--threads",
+            "1",
+        ]))
+        .expect("qk-bits sweep should run");
     }
 
     #[test]

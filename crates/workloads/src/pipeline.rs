@@ -280,6 +280,12 @@ pub fn predict_serving_cycles(
 /// synthesize correlated Q/K, place the threshold at the paper's
 /// pruning-rate quantile, quantize. This is the (memoizable) construction
 /// stage of the pipeline; it is a pure function of `(task, options, head)`.
+///
+/// The returned workload carries the bit-plane K decomposition
+/// (`HeadWorkload::k_planes`), built here **once per head**: the four
+/// simulation units of [`SimUnitKind::ALL`] — and, through the runtime
+/// cache, every sweep design point sharing the operands — reuse it instead
+/// of re-decomposing K per unit.
 pub fn build_head_workload(
     task: &TaskDescriptor,
     options: &PipelineOptions,
@@ -637,6 +643,32 @@ mod tests {
                 (0.3..=3.0).contains(&ratio),
                 "{}: predicted {predicted} vs actual {actual}",
                 task.name
+            );
+        }
+    }
+
+    #[test]
+    fn built_workload_carries_the_bit_plane_decomposition() {
+        // One decomposition per head, sized for the quantization width, so
+        // the four simulation units never rebuild it — and the kernel path
+        // (simulate_head) agrees exactly with the retained reference.
+        let suite = full_suite();
+        let task = &suite[0];
+        let options = quick_options();
+        let workload = build_head_workload(task, &options, 0);
+        assert_eq!(workload.k_planes.len(), workload.k_codes.len());
+        assert_eq!(
+            workload.k_planes[0].magnitude_bits(),
+            options.qk_bits - 1,
+            "planes must be sized for the simulated operand width"
+        );
+        for kind in SimUnitKind::ALL {
+            let config = kind.tile_config();
+            assert_eq!(
+                simulate_head(&workload, &config),
+                leopard_accel::sim::simulate_head_reference(&workload, &config),
+                "kernel/reference divergence on {:?}",
+                kind
             );
         }
     }

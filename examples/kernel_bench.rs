@@ -1,0 +1,75 @@
+//! Perf trajectory harness for the incremental bit-plane QK kernel.
+//!
+//! Times `simulate_head` (kernel path) against `simulate_head_reference`
+//! (retained scalar DPU path) on the acceptance workload — s = 256, d = 64,
+//! `TileConfig::ae_leopard()` — verifies the two produce bit-identical
+//! results, and writes `BENCH_qk_kernel.json` so later PRs can track the
+//! speedup over time.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example kernel_bench
+//! ```
+
+use leopard::accel::config::TileConfig;
+use leopard::accel::sim::{simulate_head, simulate_head_reference, HeadWorkload};
+use leopard::workloads::pipeline::{synthesize_qk, threshold_for_rate};
+use std::time::Instant;
+
+const S: usize = 256;
+const D: usize = 64;
+const QK_BITS: u32 = 12;
+const PRUNING_TARGET: f32 = 0.7;
+const SEED: u64 = 42;
+
+/// Times `f` over enough iterations to fill ~1s of wall clock (minimum 3),
+/// after one warm-up call, and returns mean nanoseconds per iteration.
+fn time_ns<T>(mut f: impl FnMut() -> T) -> u64 {
+    let warm = Instant::now();
+    std::hint::black_box(f());
+    let per_iter = warm.elapsed();
+    let iters = (1.0 / per_iter.as_secs_f64().max(1e-9)).ceil().min(1e4) as u64;
+    let iters = iters.max(3);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    (start.elapsed().as_nanos() as u64) / iters
+}
+
+fn main() {
+    let config = TileConfig::ae_leopard();
+    let (q, k) = synthesize_qk(S, D, 0.35, SEED);
+    let threshold = threshold_for_rate(&q, &k, PRUNING_TARGET);
+    let workload = HeadWorkload::from_float(&q, &k, threshold, QK_BITS);
+
+    let kernel_result = simulate_head(&workload, &config);
+    let reference_result = simulate_head_reference(&workload, &config);
+    assert_eq!(
+        kernel_result, reference_result,
+        "kernel and reference paths must be bit-identical"
+    );
+
+    println!(
+        "workload: s={S}, d={D}, tile {}, pruning rate {:.1}%, {} total cycles",
+        config.name,
+        kernel_result.pruning_rate() * 100.0,
+        kernel_result.total_cycles
+    );
+
+    let wall_ns_reference = time_ns(|| simulate_head_reference(&workload, &config));
+    let wall_ns_kernel = time_ns(|| simulate_head(&workload, &config));
+    let speedup = wall_ns_reference as f64 / wall_ns_kernel.max(1) as f64;
+
+    println!("reference path: {:>12} ns / head", wall_ns_reference);
+    println!("kernel path:    {:>12} ns / head", wall_ns_kernel);
+    println!("speedup:        {:>12.2}x", speedup);
+
+    let json = format!(
+        "{{\n  \"config\": {{\n    \"seq_len\": {S},\n    \"head_dim\": {D},\n    \"tile\": \"{}\",\n    \"qk_bits\": {QK_BITS},\n    \"serial_bits\": {},\n    \"pruning_target\": {PRUNING_TARGET},\n    \"seed\": {SEED}\n  }},\n  \"wall_ns_reference\": {wall_ns_reference},\n  \"wall_ns_kernel\": {wall_ns_kernel},\n  \"speedup\": {speedup:.3}\n}}\n",
+        config.name, config.serial_bits
+    );
+    std::fs::write("BENCH_qk_kernel.json", &json).expect("write BENCH_qk_kernel.json");
+    println!("wrote BENCH_qk_kernel.json");
+}
