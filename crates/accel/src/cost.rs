@@ -213,6 +213,7 @@ impl CostModel {
                             o.result.pruning_rate(),
                             saving,
                             1.0,
+                            1,
                         );
                         o.result.total_cycles as f64 / analytical as f64
                     })
@@ -275,8 +276,31 @@ impl CostModel {
         seq_len: usize,
         pruning_rate: f64,
     ) -> u64 {
+        self.predict_head_cycles_tiled(family, config, seq_len, pruning_rate, 1)
+    }
+
+    /// Tile-aware form of [`predict_head_cycles`](Self::predict_head_cycles):
+    /// predicted cycles for one head whose Q rows are partitioned across
+    /// `tiles` tiles (the busiest tile's makespan). The per-row work
+    /// divides across tiles — the busiest tile processes
+    /// `ceil(seq_len / tiles)` rows — while the pipeline fill/drain term
+    /// (`min(front-end, back-end)` row cost) is the **merge overhead**:
+    /// every tile pays it once, so it does not divide.
+    ///
+    /// Predictions are monotonically non-increasing in `tiles` (the tile
+    /// count is clamped to the row count, so over-tiling plateaus instead
+    /// of paying for idle tiles), and `tiles = 1` reproduces
+    /// [`predict_head_cycles`](Self::predict_head_cycles) exactly.
+    pub fn predict_head_cycles_tiled(
+        &self,
+        family: &str,
+        config: &TileConfig,
+        seq_len: usize,
+        pruning_rate: f64,
+        tiles: usize,
+    ) -> u64 {
         let fit = self.fit(family);
-        predict_head_cycles_with(config, seq_len, pruning_rate, fit.saving, fit.scale)
+        predict_head_cycles_with(config, seq_len, pruning_rate, fit.saving, fit.scale, tiles)
     }
 
     /// Predicts the cycles a whole inference request of a `family` task
@@ -291,7 +315,25 @@ impl CostModel {
         heads: usize,
         pruning_rate: f64,
     ) -> u64 {
-        heads.max(1) as u64 * self.predict_head_cycles(family, config, seq_len, pruning_rate)
+        self.predict_request_cycles_tiled(family, config, seq_len, heads, pruning_rate, 1)
+    }
+
+    /// Tile-aware form of
+    /// [`predict_request_cycles`](Self::predict_request_cycles): the heads
+    /// still execute sequentially, but each head's rows are partitioned
+    /// across `tiles` tiles (see
+    /// [`predict_head_cycles_tiled`](Self::predict_head_cycles_tiled)).
+    pub fn predict_request_cycles_tiled(
+        &self,
+        family: &str,
+        config: &TileConfig,
+        seq_len: usize,
+        heads: usize,
+        pruning_rate: f64,
+        tiles: usize,
+    ) -> u64 {
+        heads.max(1) as u64
+            * self.predict_head_cycles_tiled(family, config, seq_len, pruning_rate, tiles)
     }
 }
 
@@ -314,14 +356,15 @@ fn saving_from_pruned_bits(histogram: &[u64]) -> Option<f64> {
     Some((1.0 - mean_bits / width).clamp(0.0, 1.0))
 }
 
-/// [`CostModel::predict_head_cycles`] with explicit constants — the shared
-/// arithmetic core of every prediction path.
+/// [`CostModel::predict_head_cycles_tiled`] with explicit constants — the
+/// shared arithmetic core of every prediction path.
 fn predict_head_cycles_with(
     config: &TileConfig,
     seq_len: usize,
     pruning_rate: f64,
     saving: f64,
     scale: f64,
+    tiles: usize,
 ) -> u64 {
     let s = seq_len.max(1) as f64;
     let rate = if config.pruning_enabled {
@@ -338,9 +381,13 @@ fn predict_head_cycles_with(
     let dots_per_dpu = (s / config.n_qk_dpu as f64).ceil();
     let frontend_row = dots_per_dpu * dot_cycles;
     let backend_row = s * (1.0 - rate);
-    // Rows pipeline: steady state advances at the slower stage's pace, plus
-    // one drain of the faster stage at the end.
-    let cycles = s * frontend_row.max(backend_row) + frontend_row.min(backend_row);
+    // Rows divide across tiles (the busiest tile gets the ceiling); rows
+    // pipeline within a tile: steady state advances at the slower stage's
+    // pace, plus one drain of the faster stage — the drain is the merge
+    // overhead, paid per tile rather than divided. Clamping the tile count
+    // to the row count keeps the prediction monotone under over-tiling.
+    let tile_rows = (s / tiles.max(1).min(seq_len.max(1)) as f64).ceil();
+    let cycles = tile_rows * frontend_row.max(backend_row) + frontend_row.min(backend_row);
     ((cycles * scale).round() as u64).max(1)
 }
 
@@ -377,6 +424,45 @@ pub fn predict_request_cycles(
     pruning_rate: f64,
 ) -> u64 {
     CostModel::analytical().predict_request_cycles("", config, seq_len, heads, pruning_rate)
+}
+
+/// Tile-aware, family-agnostic convenience form of
+/// [`CostModel::predict_request_cycles_tiled`]: predicted cycles for a
+/// request whose heads each execute partitioned across `tiles` tiles.
+///
+/// # Examples
+///
+/// ```
+/// use leopard_accel::config::TileConfig;
+/// use leopard_accel::cost::{predict_request_cycles, predict_request_cycles_tiled};
+///
+/// let config = TileConfig::ae_leopard();
+/// // One tile reproduces the single-tile predictor exactly; more tiles
+/// // never predict more cycles.
+/// assert_eq!(
+///     predict_request_cycles_tiled(&config, 96, 12, 0.8, 1),
+///     predict_request_cycles(&config, 96, 12, 0.8)
+/// );
+/// assert!(
+///     predict_request_cycles_tiled(&config, 96, 12, 0.8, 4)
+///         < predict_request_cycles(&config, 96, 12, 0.8)
+/// );
+/// ```
+pub fn predict_request_cycles_tiled(
+    config: &TileConfig,
+    seq_len: usize,
+    heads: usize,
+    pruning_rate: f64,
+    tiles: usize,
+) -> u64 {
+    CostModel::analytical().predict_request_cycles_tiled(
+        "",
+        config,
+        seq_len,
+        heads,
+        pruning_rate,
+        tiles,
+    )
 }
 
 #[cfg(test)]

@@ -3,15 +3,170 @@
 //! A LeOPArd accelerator instantiates several tiles and "attention heads are
 //! partitioned across the tiles, and the operations in the tiles are
 //! independent of each other on their corresponding heads". This module
-//! models that level: given the per-head simulation results of one attention
-//! layer, it assigns heads to tiles (round-robin, matching the static
-//! partitioning of the paper) and reports the layer's makespan, the total
-//! energy, and per-tile utilization; a model-level helper then sums layers.
+//! models that level — and, since the tile-scheduler PR, the level *below*
+//! it: [`TilePartition`] deterministically splits one head's Q rows across
+//! the tiles, [`simulate_head_tiled`] runs the shards and
+//! [`merge_head_shards`] reassembles them into a [`TiledHeadSim`] whose
+//! merged accounting is bit-identical to single-tile execution (counters
+//! sum, timing reconstructs exactly; the per-tile makespan is the parallel
+//! latency). Above that, [`schedule_layer`] assigns whole heads to tiles
+//! (round-robin, matching the static partitioning of the paper) and
+//! reports the layer's makespan, total energy, and per-tile utilization; a
+//! model-level helper then sums layers.
 
 use crate::config::TileConfig;
 use crate::energy::{energy_from_events, EnergyBreakdown, EnergyModel};
-use crate::sim::{simulate_head, HeadSimResult, HeadWorkload};
+use crate::sim::{
+    merge_shards, simulate_head, simulate_head_shard, HeadSimResult, HeadWorkload, TileShardSim,
+};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Deterministic contiguous partition of a head's `seq_len` Q rows across
+/// `tiles` tiles: the first `seq_len % tiles` tiles receive one extra row,
+/// so shard sizes differ by at most one and the mapping is a pure function
+/// of `(seq_len, tiles)` — the property the engine's bit-identity across
+/// thread counts rests on. Tiles beyond the row count receive empty ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePartition {
+    seq_len: usize,
+    tiles: usize,
+}
+
+impl TilePartition {
+    /// Partitions `seq_len` rows over `tiles` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero.
+    pub fn new(seq_len: usize, tiles: usize) -> Self {
+        assert!(tiles > 0, "a partition needs at least one tile");
+        Self { seq_len, tiles }
+    }
+
+    /// Number of tiles in the partition.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Number of rows being partitioned.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// The contiguous row range assigned to `tile` (possibly empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn range(&self, tile: usize) -> Range<usize> {
+        assert!(tile < self.tiles, "tile {tile} of {}", self.tiles);
+        let base = self.seq_len / self.tiles;
+        let extra = self.seq_len % self.tiles;
+        let start = tile * base + tile.min(extra);
+        let len = base + usize::from(tile < extra);
+        start..start + len
+    }
+
+    /// All row ranges, in tile order (their concatenation is `0..seq_len`).
+    pub fn ranges(&self) -> Vec<Range<usize>> {
+        (0..self.tiles).map(|tile| self.range(tile)).collect()
+    }
+}
+
+/// Result of simulating one attention head partitioned across the tiles of
+/// an accelerator: the per-tile pipeline cycles (each shard running alone
+/// on its tile), and the merged single-tile-exact [`HeadSimResult`].
+///
+/// The determinism/merge contract: `merged` is **bit-identical** to
+/// [`simulate_head`] / [`crate::sim::simulate_head_reference`] on the same
+/// workload, for every tile count — counters and histograms are sums over
+/// tiles, and the timing fields are reconstructed exactly from the shard
+/// boundary terms (see [`crate::sim::merge_shards`]). What the tile count
+/// *does* change is [`makespan_cycles`](Self::makespan_cycles): the
+/// busiest tile's cycles, i.e. the latency of the head when the tiles run
+/// in parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledHeadSim {
+    /// Number of tiles the head was partitioned across.
+    pub tiles: usize,
+    /// Per-tile standalone pipeline cycles (0 for tiles without rows) —
+    /// "cycles = max over tiles" is taken over this vector.
+    pub tile_cycles: Vec<u64>,
+    /// The merged accounting: bit-identical to single-tile execution.
+    pub merged: HeadSimResult,
+}
+
+impl TiledHeadSim {
+    /// Multi-tile latency of the head: the busiest tile's cycles (at least
+    /// 1, mirroring [`HeadSimResult::total_cycles`]).
+    pub fn makespan_cycles(&self) -> u64 {
+        self.tile_cycles.iter().copied().max().unwrap_or(0).max(1)
+    }
+
+    /// Cycle-level speedup of the tile-parallel execution over single-tile
+    /// execution of the same head (1.0 at one tile).
+    pub fn tile_speedup(&self) -> f64 {
+        self.merged.total_cycles as f64 / self.makespan_cycles() as f64
+    }
+
+    /// Load-balance efficiency: mean tile cycles over the makespan (1.0
+    /// means perfectly balanced; includes row-less tiles, so over-tiling
+    /// shows up as imbalance).
+    pub fn balance(&self) -> f64 {
+        if self.tile_cycles.is_empty() {
+            return 1.0;
+        }
+        let mean = self.tile_cycles.iter().sum::<u64>() as f64 / self.tile_cycles.len() as f64;
+        mean / self.makespan_cycles() as f64
+    }
+}
+
+/// Assembles a [`TiledHeadSim`] from independently-simulated shards, one
+/// per tile in tile order. This is the merge the runtime engine calls after
+/// its shard jobs complete; [`simulate_head_tiled`] is the serial
+/// reference for it.
+///
+/// # Panics
+///
+/// Panics if `shards` is not one-per-tile, covers no rows, or is not
+/// contiguous in tile order (see [`crate::sim::merge_shards`]).
+pub fn merge_head_shards(tiles: usize, shards: &[TileShardSim]) -> TiledHeadSim {
+    assert_eq!(shards.len(), tiles, "one shard per tile");
+    TiledHeadSim {
+        tiles,
+        tile_cycles: shards.iter().map(TileShardSim::standalone_cycles).collect(),
+        merged: merge_shards(shards),
+    }
+}
+
+/// Simulates one head with its Q rows partitioned across `tiles` tiles
+/// (each tile still sees every K column), serially shard-by-shard. The
+/// runtime engine executes the same shards as parallel sub-DAG jobs and
+/// merges them with [`merge_head_shards`]; results are identical by
+/// construction.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, the workload is degenerate
+/// (zero-length sequence), or `tiles` is zero.
+pub fn simulate_head_tiled(
+    workload: &HeadWorkload,
+    config: &TileConfig,
+    tiles: usize,
+) -> TiledHeadSim {
+    assert!(
+        workload.seq_len() > 0,
+        "workload must contain at least one query"
+    );
+    let partition = TilePartition::new(workload.seq_len(), tiles);
+    let shards: Vec<TileShardSim> = partition
+        .ranges()
+        .into_iter()
+        .map(|rows| simulate_head_shard(workload, config, rows))
+        .collect();
+    merge_head_shards(tiles, &shards)
+}
 
 /// Cycle and energy totals of one attention layer executed on a multi-tile
 /// accelerator.
@@ -220,5 +375,88 @@ mod tests {
     #[should_panic(expected = "at least one attention head")]
     fn empty_layer_panics() {
         let _ = schedule_layer(&[], &TileConfig::ae_leopard(), &EnergyModel::calibrated());
+    }
+
+    fn one_workload(s: usize, seed: u64) -> HeadWorkload {
+        let mut r = rng::seeded(seed);
+        let q = rng::normal_matrix(&mut r, s, 32, 0.0, 1.0);
+        let k = rng::normal_matrix(&mut r, s, 32, 0.0, 1.0);
+        HeadWorkload::from_float(&q, &k, 0.2, 12)
+    }
+
+    #[test]
+    fn partition_is_balanced_contiguous_and_total() {
+        for (s, t) in [(10, 3), (7, 7), (5, 8), (96, 4), (1, 2)] {
+            let partition = TilePartition::new(s, t);
+            let ranges = partition.ranges();
+            assert_eq!(ranges.len(), t);
+            let mut next = 0usize;
+            for range in &ranges {
+                assert_eq!(range.start, next, "ranges must be contiguous");
+                next = range.end;
+            }
+            assert_eq!(next, s, "ranges must cover every row");
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "s={s}, t={t}: sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_tile_partition_panics() {
+        let _ = TilePartition::new(8, 0);
+    }
+
+    #[test]
+    fn tiled_simulation_merges_to_the_single_tile_result() {
+        // The tile-scheduler contract at the schedule level: for every tile
+        // count (including over-tiling with empty shards), the merged
+        // result is bit-identical to simulate_head, the makespan never
+        // exceeds the single-tile cycles, and at one tile they coincide.
+        let w = one_workload(13, 7); // 13 is prime: never divisible
+        for config in [TileConfig::ae_leopard(), TileConfig::baseline()] {
+            let single = simulate_head(&w, &config);
+            for tiles in [1usize, 2, 3, 4, 8, 16] {
+                let tiled = simulate_head_tiled(&w, &config, tiles);
+                assert_eq!(tiled.merged, single, "tiles={tiles} on {}", config.name);
+                assert_eq!(tiled.tile_cycles.len(), tiles);
+                assert!(tiled.makespan_cycles() <= single.total_cycles);
+                assert!(tiled.tile_speedup() >= 1.0);
+                assert!(tiled.balance() > 0.0 && tiled.balance() <= 1.0);
+            }
+            let one = simulate_head_tiled(&w, &config, 1);
+            assert_eq!(one.makespan_cycles(), single.total_cycles);
+            assert!((one.tile_speedup() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_tiles_shrink_the_makespan_of_a_large_head() {
+        let w = one_workload(64, 9);
+        let cfg = TileConfig::ae_leopard();
+        let makespans: Vec<u64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| simulate_head_tiled(&w, &cfg, t).makespan_cycles())
+            .collect();
+        for pair in makespans.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "doubling tiles must cut the makespan: {makespans:?}"
+            );
+        }
+        // Near-linear scaling at 64 rows over 4 tiles.
+        let four = simulate_head_tiled(&w, &cfg, 4);
+        assert!(four.tile_speedup() > 2.5, "speedup {}", four.tile_speedup());
+    }
+
+    #[test]
+    fn over_tiling_leaves_empty_tiles_with_zero_cycles() {
+        let w = one_workload(5, 11);
+        let cfg = TileConfig::ae_leopard();
+        let tiled = simulate_head_tiled(&w, &cfg, 8);
+        assert_eq!(tiled.tile_cycles.len(), 8);
+        assert_eq!(tiled.tile_cycles.iter().filter(|&&c| c == 0).count(), 3);
+        assert_eq!(tiled.merged, simulate_head(&w, &cfg));
     }
 }

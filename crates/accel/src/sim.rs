@@ -18,6 +18,13 @@
 //! DPU ([`crate::dpu`]). Their results are bit-identical by contract; both
 //! share one accounting loop, so the equivalence reduces to the per-pair
 //! outcomes the differential tests pin down.
+//!
+//! The accounting loop itself operates at **shard** granularity: a
+//! contiguous range of Q rows yields a [`TileShardSim`], and
+//! [`merge_shards`] reconstructs the exact single-tile [`HeadSimResult`]
+//! from any contiguous shard decomposition — the mechanism behind the
+//! multi-tile scheduler in [`crate::schedule`] and its determinism
+//! contract (partitioning never changes merged results).
 
 use crate::config::TileConfig;
 use crate::dpu::{DotProductOutcome, QkDpu};
@@ -28,6 +35,7 @@ use leopard_quant::planes::KPlanes;
 use leopard_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
+use std::ops::Range;
 
 /// A quantized attention-head workload ready for simulation.
 #[derive(Debug, Clone)]
@@ -241,12 +249,66 @@ impl HeadSimResult {
 /// Panics if the configuration is invalid or the workload is degenerate
 /// (zero-length sequence).
 pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimResult {
-    let kernel = QkKernel::new(*config); // validates the config once per head
+    assert!(
+        workload.seq_len() > 0,
+        "workload must contain at least one query"
+    );
+    merge_shards(&[simulate_head_shard(workload, config, 0..workload.seq_len())])
+}
+
+/// Simulates one contiguous shard of a head's Q rows on the incremental
+/// bit-plane kernel — the unit of tile-level parallelism. Every row still
+/// sees all K columns (only the Q dimension is partitioned across tiles),
+/// so per-row accounting is identical to the whole-head paths; the shard
+/// additionally records the boundary timing terms
+/// ([`merge_shards`] needs) that make the merge of contiguous shards
+/// bit-identical to simulating the head in one piece.
+///
+/// An empty `rows` range yields the identity shard (all-zero accounting).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `rows` does not lie within
+/// the workload's sequence.
+pub fn simulate_head_shard(
+    workload: &HeadWorkload,
+    config: &TileConfig,
+    rows: Range<usize>,
+) -> TileShardSim {
+    let kernel = QkKernel::new(*config); // validates the config once per shard
     let planes = workload.k_planes_at(kernel.plan().magnitude_bits);
     let mut scratch = RowScratch::new();
     let threshold = workload.threshold_int;
-    accumulate_head(workload, config, |q_row, out| {
+    accumulate_rows(workload, config, rows, |q_row, out| {
         kernel.compute_row_into(q_row, &planes, threshold, &mut scratch, out);
+    })
+}
+
+/// [`simulate_head_shard`] on the scalar per-pair reference DPU — the
+/// shard-granular counterpart of [`simulate_head_reference`], used by the
+/// tile-conformance tests to pin the partitioned path to the reference on
+/// both axes (inner loop *and* partitioning) at once.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `rows` does not lie within
+/// the workload's sequence.
+pub fn simulate_head_shard_reference(
+    workload: &HeadWorkload,
+    config: &TileConfig,
+    rows: Range<usize>,
+) -> TileShardSim {
+    let dpu = QkDpu::new(*config); // validates the config once per shard
+    let plan = config.bit_serial_plan();
+    let k_vectors: Vec<BitSerialVector> = workload
+        .k_codes
+        .iter()
+        .map(|codes| BitSerialVector::new(codes, plan))
+        .collect();
+    let threshold = workload.threshold_int;
+    accumulate_rows(workload, config, rows, |q_row, out| {
+        out.clear();
+        out.extend(k_vectors.iter().map(|k| dpu.compute(q_row, k, threshold)));
     })
 }
 
@@ -260,111 +322,180 @@ pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimRes
 /// Panics if the configuration is invalid or the workload is degenerate
 /// (zero-length sequence).
 pub fn simulate_head_reference(workload: &HeadWorkload, config: &TileConfig) -> HeadSimResult {
-    let dpu = QkDpu::new(*config); // validates the config once per head
-    let plan = config.bit_serial_plan();
-    // Pre-decompose the K matrix once (the hardware stores K in the key
-    // buffer in bit-serial layout before the Q stream starts).
-    let k_vectors: Vec<BitSerialVector> = workload
-        .k_codes
-        .iter()
-        .map(|codes| BitSerialVector::new(codes, plan))
-        .collect();
-    let threshold = workload.threshold_int;
-    accumulate_head(workload, config, |q_row, out| {
-        out.clear();
-        out.extend(k_vectors.iter().map(|k| dpu.compute(q_row, k, threshold)));
-    })
+    assert!(
+        workload.seq_len() > 0,
+        "workload must contain at least one query"
+    );
+    merge_shards(&[simulate_head_shard_reference(
+        workload,
+        config,
+        0..workload.seq_len(),
+    )])
 }
 
-/// The shared accounting loop behind both simulation paths: feeds every Q
-/// row through `row_outcomes` (which fills one [`DotProductOutcome`] per K
-/// column) and turns the outcomes into cycle timing, event counts, and
-/// histograms. Keeping a single implementation here is what makes the
-/// kernel ≡ reference equivalence a statement about outcomes only.
-fn accumulate_head(
-    workload: &HeadWorkload,
-    config: &TileConfig,
-    mut row_outcomes: impl FnMut(&[i32], &mut Vec<DotProductOutcome>),
-) -> HeadSimResult {
-    let s = workload.seq_len();
-    assert!(s > 0, "workload must contain at least one query");
-    let plan = config.bit_serial_plan();
+/// Softmax pipeline overhead per surviving score in the back-end (exponent
+/// lookup + accumulate + weighted MAC) — one score per cycle, matching the
+/// 1-D MAC array that consumes scores sequentially.
+const BACKEND_CYCLES_PER_SCORE: u64 = 1;
 
+/// Cycle/event accounting of one contiguous shard of a head's Q rows.
+///
+/// The per-row pipeline timing of [`HeadSimResult`] follows the recurrence
+/// "front-end advance of row `i` = `max(fe_i, be_{i-1})`" (the front-end of
+/// row `i` overlaps the back-end of row `i-1` and stalls when the back-end
+/// is slower). The only state that crosses a row boundary is the previous
+/// row's back-end cycles, so a contiguous shard can be summarized exactly
+/// by its interior advance plus two boundary terms
+/// ([`first_row_frontend_cycles`](Self::first_row_frontend_cycles) and
+/// [`last_row_backend_cycles`](Self::last_row_backend_cycles)) — which is
+/// what lets [`merge_shards`] reconstruct the single-tile result
+/// bit-identically from independently-simulated shards, in any execution
+/// order. All counter fields are plain sums over the shard's rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileShardSim {
+    /// The contiguous Q-row range this shard covers (empty ranges are
+    /// legal: a tile left without rows contributes the identity shard).
+    pub rows: Range<usize>,
+    /// Σ per-row front-end cycles (the busiest DPU's cycles, per row).
+    pub frontend_busy_cycles: u64,
+    /// Σ per-row back-end cycles (one per surviving score).
+    pub backend_busy_cycles: u64,
+    /// Event counts over the shard's rows.
+    pub events: EventCounts,
+    /// Scores pruned within the shard.
+    pub pruned_scores: u64,
+    /// Scores surviving within the shard.
+    pub surviving_scores: u64,
+    /// Histogram over K magnitude bits processed (see
+    /// [`HeadSimResult::bits_histogram`]).
+    pub bits_histogram: Vec<u64>,
+    /// Histogram over K magnitude bits processed for pruned scores only.
+    pub pruned_bits_histogram: Vec<u64>,
+    /// Front-end cycles of the shard's first row (0 when empty) — the term
+    /// that interacts with the previous shard's trailing back-end work.
+    pub first_row_frontend_cycles: u64,
+    /// Back-end cycles of the shard's last row (0 when empty) — the term
+    /// the next shard's first row overlaps with.
+    pub last_row_backend_cycles: u64,
+    /// Σ over the shard's rows *after the first* of
+    /// `max(fe_i, be_{i-1})` — the front-end advance of the interior rows
+    /// under the pipeline recurrence.
+    pub interior_advance_cycles: u64,
+}
+
+impl TileShardSim {
+    /// Whether the shard covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Pipeline cycles this shard needs when it runs *alone* on one tile
+    /// from cycle 0 — the quantity whose maximum over a head's shards is
+    /// the multi-tile makespan. Zero for an empty shard; matches
+    /// [`HeadSimResult::total_cycles`] exactly when the shard covers the
+    /// whole head.
+    pub fn standalone_cycles(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.first_row_frontend_cycles
+                + self.interior_advance_cycles
+                + self.last_row_backend_cycles)
+                .max(1)
+        }
+    }
+}
+
+/// Merges contiguous shard accountings into the **exact** single-tile
+/// [`HeadSimResult`]: the result is bit-identical — every field, including
+/// cycle totals, stalls, and utilization — to simulating the same rows in
+/// one piece. Counters and histograms are sums; the timing fields replay
+/// the pipeline recurrence across the shard boundaries (see
+/// [`TileShardSim`]). Empty shards are identities and may appear anywhere.
+///
+/// This is the merge/determinism contract of the tile scheduler
+/// (`crate::schedule`): partitioning a head across tiles changes *where*
+/// rows execute and what the per-tile makespan is, never the merged
+/// result.
+///
+/// # Panics
+///
+/// Panics if no shard covers any row, if the non-empty shards are not
+/// contiguous in ascending row order, or if histogram widths disagree
+/// (shards simulated under different tile configurations).
+pub fn merge_shards(shards: &[TileShardSim]) -> HeadSimResult {
     let mut events = EventCounts::default();
     let mut pruned_scores = 0u64;
     let mut surviving_scores = 0u64;
-    let max_bits = plan.magnitude_bits as usize;
-    let mut bits_histogram = vec![0u64; max_bits + 1];
-    let mut pruned_bits_histogram = vec![0u64; max_bits + 1];
-
-    // Per-row timing: the front-end processes row i while the back-end works
-    // on the survivors of row i-1. The front-end cannot start row i+1 until
-    // the back-end has caught up with row i's survivors (a single-row
-    // hand-off simplification of the 512-deep Score/IDX FIFOs).
+    let mut bits_histogram: Vec<u64> = Vec::new();
+    let mut pruned_bits_histogram: Vec<u64> = Vec::new();
     let mut frontend_busy = 0u64;
     let mut backend_busy = 0u64;
-    let mut stall = 0u64;
-    let mut frontend_free_at = 0u64; // cycle when the front-end can start the next row
-    let mut backend_free_at = 0u64; // cycle when the back-end finishes its queue
-                                    // Softmax pipeline overhead per surviving score in the back-end
-                                    // (exponent lookup + accumulate + weighted MAC) — one score per cycle,
-                                    // matching the 1-D MAC array that consumes scores sequentially.
-    let backend_cycles_per_score = 1u64;
+    // The pipeline state the recurrence threads across rows: the front-end
+    // hand-off clock and the previous row's back-end cycles.
+    let mut frontend_free = 0u64;
+    let mut prev_backend = 0u64;
+    let mut rows_merged = 0usize;
+    let mut expected_start: Option<usize> = None;
 
-    // Row-level buffers, allocated once per head and reused across rows.
-    let mut dpu_cycles = vec![0u64; config.n_qk_dpu];
-    let mut outcomes: Vec<DotProductOutcome> = Vec::with_capacity(workload.k_codes.len());
-
-    for q_row in &workload.q_codes {
-        // --- Front-end: distribute the s key columns over the N_QK DPUs.
-        row_outcomes(q_row, &mut outcomes);
-        dpu_cycles.fill(0);
-        let mut row_survivors = 0u64;
-        for (j, outcome) in outcomes.iter().enumerate() {
-            let dpu_idx = j % config.n_qk_dpu;
-            dpu_cycles[dpu_idx] += u64::from(outcome.cycles);
-            events.qk_dpu_cycles += u64::from(outcome.cycles);
-            events.key_buffer_reads += u64::from(outcome.cycles);
-            bits_histogram[outcome.bits_processed as usize] += 1;
-            if outcome.pruned {
-                pruned_scores += 1;
-                pruned_bits_histogram[outcome.bits_processed as usize] += 1;
-            } else {
-                surviving_scores += 1;
-                row_survivors += 1;
-                events.fifo_pushes += 1;
-            }
+    for shard in shards {
+        if bits_histogram.is_empty() {
+            bits_histogram = vec![0; shard.bits_histogram.len()];
+            pruned_bits_histogram = vec![0; shard.pruned_bits_histogram.len()];
         }
-        let row_frontend_cycles = *dpu_cycles.iter().max().expect("at least one DPU");
+        assert_eq!(
+            shard.bits_histogram.len(),
+            bits_histogram.len(),
+            "shards were simulated under different bit-serial plans"
+        );
+        for (slot, &count) in bits_histogram.iter_mut().zip(&shard.bits_histogram) {
+            *slot += count;
+        }
+        for (slot, &count) in pruned_bits_histogram
+            .iter_mut()
+            .zip(&shard.pruned_bits_histogram)
+        {
+            *slot += count;
+        }
+        events.qk_dpu_cycles += shard.events.qk_dpu_cycles;
+        events.key_buffer_reads += shard.events.key_buffer_reads;
+        events.softmax_ops += shard.events.softmax_ops;
+        events.v_mac_ops += shard.events.v_mac_ops;
+        events.value_buffer_reads += shard.events.value_buffer_reads;
+        events.fifo_pushes += shard.events.fifo_pushes;
+        pruned_scores += shard.pruned_scores;
+        surviving_scores += shard.surviving_scores;
+        frontend_busy += shard.frontend_busy_cycles;
+        backend_busy += shard.backend_busy_cycles;
 
-        // --- Timing: the front-end may have to wait for the back-end to
-        // drain the previous row before it can hand off this row's survivors.
-        let start = frontend_free_at;
-        let frontend_done = start + row_frontend_cycles;
-        // Hand-off happens when both the front-end is done and the back-end
-        // has finished the previous row.
-        let handoff = frontend_done.max(backend_free_at);
-        stall += handoff - frontend_done;
-        let row_backend_cycles = row_survivors * backend_cycles_per_score;
-        backend_free_at = handoff + row_backend_cycles;
-        frontend_free_at = handoff;
-
-        frontend_busy += row_frontend_cycles;
-        backend_busy += row_backend_cycles;
-
-        events.softmax_ops += row_survivors;
-        events.v_mac_ops += row_survivors;
-        events.value_buffer_reads += row_survivors;
+        if shard.is_empty() {
+            continue;
+        }
+        if let Some(expected) = expected_start {
+            assert_eq!(
+                shard.rows.start, expected,
+                "tile shards must be contiguous in ascending row order"
+            );
+        }
+        expected_start = Some(shard.rows.end);
+        rows_merged += shard.rows.len();
+        // The shard's first row overlaps the previous shard's trailing
+        // back-end work; its interior rows already carry their advance.
+        frontend_free +=
+            shard.first_row_frontend_cycles.max(prev_backend) + shard.interior_advance_cycles;
+        prev_backend = shard.last_row_backend_cycles;
     }
 
-    let total_cycles = backend_free_at.max(frontend_free_at).max(1);
+    assert!(rows_merged > 0, "merge requires at least one simulated row");
+    let total_cycles = (frontend_free + prev_backend).max(1);
     let frontend_unstalled = frontend_busy.max(1);
-
     HeadSimResult {
         total_cycles,
         frontend_busy_cycles: frontend_busy,
         backend_busy_cycles: backend_busy,
-        frontend_stall_cycles: stall,
+        // The front-end clock advances by fe_i + stall_i per row, so the
+        // total stall is the advance beyond the busy time.
+        frontend_stall_cycles: frontend_free - frontend_busy,
         vpu_utilization: backend_busy as f64 / total_cycles as f64,
         vpu_demand: backend_busy as f64 / frontend_unstalled as f64,
         pruned_scores,
@@ -373,6 +504,90 @@ fn accumulate_head(
         pruned_bits_histogram,
         events,
     }
+}
+
+/// The shared accounting loop behind every simulation path: feeds each Q
+/// row in `rows` through `row_outcomes` (which fills one
+/// [`DotProductOutcome`] per K column) and turns the outcomes into cycle
+/// timing, event counts, and histograms for that shard. Keeping a single
+/// implementation here is what makes the kernel ≡ reference equivalence a
+/// statement about outcomes only — and the tile ≡ single-tile equivalence
+/// a statement about [`merge_shards`] only.
+fn accumulate_rows(
+    workload: &HeadWorkload,
+    config: &TileConfig,
+    rows: Range<usize>,
+    mut row_outcomes: impl FnMut(&[i32], &mut Vec<DotProductOutcome>),
+) -> TileShardSim {
+    assert!(
+        rows.start <= rows.end && rows.end <= workload.seq_len(),
+        "shard rows {rows:?} outside the workload's {} queries",
+        workload.seq_len()
+    );
+    let plan = config.bit_serial_plan();
+    let max_bits = plan.magnitude_bits as usize;
+    let mut shard = TileShardSim {
+        rows: rows.clone(),
+        frontend_busy_cycles: 0,
+        backend_busy_cycles: 0,
+        events: EventCounts::default(),
+        pruned_scores: 0,
+        surviving_scores: 0,
+        bits_histogram: vec![0u64; max_bits + 1],
+        pruned_bits_histogram: vec![0u64; max_bits + 1],
+        first_row_frontend_cycles: 0,
+        last_row_backend_cycles: 0,
+        interior_advance_cycles: 0,
+    };
+
+    // Row-level buffers, allocated once per shard and reused across rows.
+    let mut dpu_cycles = vec![0u64; config.n_qk_dpu];
+    let mut outcomes: Vec<DotProductOutcome> = Vec::with_capacity(workload.k_codes.len());
+    let mut prev_backend = 0u64;
+
+    for (offset, q_row) in workload.q_codes[rows].iter().enumerate() {
+        // --- Front-end: distribute the s key columns over the N_QK DPUs.
+        row_outcomes(q_row, &mut outcomes);
+        dpu_cycles.fill(0);
+        let mut row_survivors = 0u64;
+        for (j, outcome) in outcomes.iter().enumerate() {
+            let dpu_idx = j % config.n_qk_dpu;
+            dpu_cycles[dpu_idx] += u64::from(outcome.cycles);
+            shard.events.qk_dpu_cycles += u64::from(outcome.cycles);
+            shard.events.key_buffer_reads += u64::from(outcome.cycles);
+            shard.bits_histogram[outcome.bits_processed as usize] += 1;
+            if outcome.pruned {
+                shard.pruned_scores += 1;
+                shard.pruned_bits_histogram[outcome.bits_processed as usize] += 1;
+            } else {
+                shard.surviving_scores += 1;
+                row_survivors += 1;
+                shard.events.fifo_pushes += 1;
+            }
+        }
+        let row_frontend_cycles = *dpu_cycles.iter().max().expect("at least one DPU");
+        let row_backend_cycles = row_survivors * BACKEND_CYCLES_PER_SCORE;
+
+        // --- Timing: the front-end of this row overlaps the back-end of
+        // the previous one, so its advance is max(fe_i, be_{i-1}). The
+        // first row's advance depends on the *previous shard's* trailing
+        // back-end work, which only the merge knows — record its fe as a
+        // boundary term instead.
+        if offset == 0 {
+            shard.first_row_frontend_cycles = row_frontend_cycles;
+        } else {
+            shard.interior_advance_cycles += row_frontend_cycles.max(prev_backend);
+        }
+        prev_backend = row_backend_cycles;
+
+        shard.frontend_busy_cycles += row_frontend_cycles;
+        shard.backend_busy_cycles += row_backend_cycles;
+        shard.events.softmax_ops += row_survivors;
+        shard.events.v_mac_ops += row_survivors;
+        shard.events.value_buffer_reads += row_survivors;
+    }
+    shard.last_row_backend_cycles = prev_backend;
+    shard
 }
 
 #[cfg(test)]
@@ -530,6 +745,71 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn merged_shards_reconstruct_the_whole_head_exactly() {
+        // Splitting the rows at any boundary — including degenerate empty
+        // shards — merges back to the bit-identical whole-head result.
+        let w = workload(17, 48, 0.3, 41);
+        for config in [TileConfig::ae_leopard(), TileConfig::baseline()] {
+            let whole = simulate_head(&w, &config);
+            for split in [0usize, 1, 8, 16, 17] {
+                let shards = [
+                    simulate_head_shard(&w, &config, 0..split),
+                    simulate_head_shard(&w, &config, split..17),
+                ];
+                assert_eq!(
+                    merge_shards(&shards),
+                    whole,
+                    "split at {split} diverged on {}",
+                    config.name
+                );
+            }
+            // Shard-granular reference path agrees too.
+            let shards = [
+                simulate_head_shard_reference(&w, &config, 0..5),
+                simulate_head_shard_reference(&w, &config, 5..17),
+            ];
+            assert_eq!(merge_shards(&shards), whole);
+        }
+    }
+
+    #[test]
+    fn empty_shard_is_the_identity() {
+        let w = workload(9, 32, 0.2, 42);
+        let cfg = TileConfig::ae_leopard();
+        let empty = simulate_head_shard(&w, &cfg, 4..4);
+        assert!(empty.is_empty());
+        assert_eq!(empty.standalone_cycles(), 0);
+        assert_eq!(empty.frontend_busy_cycles, 0);
+        assert_eq!(empty.events, EventCounts::default());
+        // A whole-head shard's standalone cycles equal the head total.
+        let whole = simulate_head_shard(&w, &cfg, 0..9);
+        assert_eq!(
+            whole.standalone_cycles(),
+            simulate_head(&w, &cfg).total_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous in ascending row order")]
+    fn non_contiguous_shards_are_rejected() {
+        let w = workload(8, 32, 0.2, 43);
+        let cfg = TileConfig::ae_leopard();
+        let shards = [
+            simulate_head_shard(&w, &cfg, 0..3),
+            simulate_head_shard(&w, &cfg, 5..8),
+        ];
+        let _ = merge_shards(&shards);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one simulated row")]
+    fn merging_only_empty_shards_panics() {
+        let w = workload(8, 32, 0.2, 44);
+        let cfg = TileConfig::ae_leopard();
+        let _ = merge_shards(&[simulate_head_shard(&w, &cfg, 0..0)]);
     }
 
     #[test]

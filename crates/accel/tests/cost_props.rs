@@ -1,0 +1,161 @@
+//! Property tests for the fitted cost model (`leopard_accel::cost`):
+//! fitting is deterministic, the calibration scale always lands in its
+//! documented clamp, and tile-aware predictions are monotonically
+//! non-increasing in the tile count.
+
+use leopard_accel::config::TileConfig;
+use leopard_accel::cost::{predict_request_cycles_tiled, CostModel, FitObservation};
+use leopard_accel::sim::{simulate_head, HeadSimResult, HeadWorkload};
+use leopard_tensor::rng;
+use proptest::prelude::*;
+
+fn presets() -> [TileConfig; 4] {
+    [
+        TileConfig::baseline(),
+        TileConfig::ae_leopard(),
+        TileConfig::hp_leopard(),
+        TileConfig::pruning_only(),
+    ]
+}
+
+/// A small pool of measured results to draw observations from, built once
+/// per process (the properties only permute and rescale them, so sharing
+/// is safe and keeps the `PROPTEST_CASES`-bumped CI job fast).
+fn measured_pool() -> &'static Vec<(HeadSimResult, TileConfig, usize)> {
+    static POOL: std::sync::OnceLock<Vec<(HeadSimResult, TileConfig, usize)>> =
+        std::sync::OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut pool = Vec::new();
+        for (seed, s, threshold) in [(1u64, 24usize, 0.3f32), (2, 16, 0.0), (3, 32, 0.6)] {
+            let mut r = rng::seeded(seed);
+            let q = rng::normal_matrix(&mut r, s, 32, 0.0, 1.0);
+            let k = rng::normal_matrix(&mut r, s, 32, 0.0, 1.0);
+            let w = HeadWorkload::from_float(&q, &k, threshold, 12);
+            let cfg = TileConfig::ae_leopard();
+            pool.push((simulate_head(&w, &cfg), cfg, s));
+        }
+        pool
+    })
+}
+
+const FAMILIES: [&str; 3] = ["MemN2N", "BERT-B", "ViT-B"];
+
+proptest! {
+    /// Fitting the same observations (any content, any assignment of
+    /// results to families) twice yields identical models, and permuting
+    /// the observation order never changes any family's fitted constants.
+    #[test]
+    fn prop_fit_is_deterministic_and_order_insensitive(
+        assignment in proptest::collection::vec((0usize..3, 0usize..3), 1..8),
+        rotation in 0usize..8,
+    ) {
+        let pool = measured_pool();
+        let observations: Vec<FitObservation<'_>> = assignment
+            .iter()
+            .map(|&(family, result)| FitObservation {
+                family: FAMILIES[family],
+                result: &pool[result].0,
+                config: &pool[result].1,
+                seq_len: pool[result].2,
+            })
+            .collect();
+        let fitted = CostModel::fit_from_results(observations.iter().copied());
+        let again = CostModel::fit_from_results(observations.iter().copied());
+        prop_assert_eq!(&fitted, &again, "same observations, same model");
+
+        // A rotated observation order changes pooling order only, never
+        // the per-family constants (pooling is content-based).
+        let k = rotation % observations.len();
+        let rotated: Vec<_> = observations[k..]
+            .iter()
+            .chain(&observations[..k])
+            .copied()
+            .collect();
+        let refit = CostModel::fit_from_results(rotated);
+        for family in FAMILIES {
+            prop_assert!(
+                (fitted.saving(family) - refit.saving(family)).abs() < 1e-15,
+                "saving for {} moved under permutation", family
+            );
+            prop_assert!(
+                (fitted.scale(family) - refit.scale(family)).abs() < 1e-15,
+                "scale for {} moved under permutation", family
+            );
+        }
+    }
+
+    /// The calibration scale always lands in its documented 0.25..4 clamp,
+    /// even for degenerate calibration workloads whose measured cycles are
+    /// scaled far away from the analytical prediction.
+    #[test]
+    fn prop_calibration_scale_respects_its_clamp(
+        cycle_scale in 0.0001f64..10_000.0,
+        result_index in 0usize..3,
+    ) {
+        let pool = measured_pool();
+        let (base, cfg, seq_len) = &pool[result_index];
+        let distorted = HeadSimResult {
+            total_cycles: ((base.total_cycles as f64 * cycle_scale) as u64).max(1),
+            ..base.clone()
+        };
+        let model = CostModel::fit_from_results([FitObservation {
+            family: "GPT-2-L",
+            result: &distorted,
+            config: cfg,
+            seq_len: *seq_len,
+        }]);
+        let scale = model.scale("GPT-2-L");
+        prop_assert!(
+            (0.25..=4.0).contains(&scale),
+            "scale {} escaped the documented clamp", scale
+        );
+    }
+
+    /// Tile-aware predictions are monotonically non-increasing in the tile
+    /// count, for every preset, fitted or not — and one tile reproduces
+    /// the single-tile predictor exactly.
+    #[test]
+    fn prop_tiled_predictions_never_increase_with_tiles(
+        seq_len in 1usize..300,
+        heads in 1usize..16,
+        pruning_rate in 0.0f64..1.0,
+        preset in 0u32..4,
+        fit_family in 0usize..3,
+    ) {
+        let pool = measured_pool();
+        let fitted = CostModel::fit_from_results([FitObservation {
+            family: FAMILIES[fit_family],
+            result: &pool[0].0,
+            config: &pool[0].1,
+            seq_len: pool[0].2,
+        }]);
+        let config = presets()[preset as usize];
+        for family in ["MemN2N", "unfitted"] {
+            let mut previous = u64::MAX;
+            for tiles in 1usize..=9 {
+                let predicted = fitted.predict_request_cycles_tiled(
+                    family, &config, seq_len, heads, pruning_rate, tiles,
+                );
+                prop_assert!(
+                    predicted <= previous,
+                    "prediction rose from {} to {} at tiles={} ({}, s={})",
+                    previous, predicted, tiles, config.name, seq_len
+                );
+                prop_assert!(predicted >= 1);
+                previous = predicted;
+            }
+            // One tile is exactly the single-tile predictor.
+            prop_assert_eq!(
+                fitted.predict_request_cycles_tiled(
+                    family, &config, seq_len, heads, pruning_rate, 1
+                ),
+                fitted.predict_request_cycles(family, &config, seq_len, heads, pruning_rate)
+            );
+        }
+        // The family-agnostic convenience form is monotone too.
+        prop_assert!(
+            predict_request_cycles_tiled(&config, seq_len, heads, pruning_rate, 8)
+                <= predict_request_cycles_tiled(&config, seq_len, heads, pruning_rate, 2)
+        );
+    }
+}

@@ -8,6 +8,11 @@
 //! `ProptestConfig::with_cases`. Cases are generated from a deterministic
 //! RNG seeded by the test name, so failures reproduce exactly; there is no
 //! shrinking — the failing inputs are printed instead.
+//!
+//! The `PROPTEST_CASES` environment variable raises the case count of
+//! every property — including those with an explicit `with_cases` (it
+//! never lowers one) — so CI can run a bumped job over the differential
+//! suites without code changes.
 
 #![warn(rust_2018_idioms)]
 
@@ -22,15 +27,46 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// Configuration running `cases` random cases per property.
+    /// Configuration running `cases` random cases per property. As with
+    /// the default, `PROPTEST_CASES` can *raise* the count (CI runs a
+    /// bumped job over the differential suites); it never lowers an
+    /// explicit request.
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases: effective_cases(cases, env_cases()),
+        }
     }
+}
+
+/// The effective case count given an explicit request and the
+/// `PROPTEST_CASES` override: the override raises, never lowers. Pure so
+/// it is testable without touching the (process-global) environment.
+fn effective_cases(explicit: u32, env: Option<u32>) -> u32 {
+    env.map_or(explicit, |env| env.max(explicit))
+}
+
+/// Parses one `PROPTEST_CASES` value; unparseable text is ignored.
+fn parse_env_cases(value: &str) -> Option<u32> {
+    value.trim().parse().ok()
+}
+
+/// The `PROPTEST_CASES` environment override, if set and parseable. Read
+/// at config-construction time, never written by this crate — tests
+/// exercise [`effective_cases`]/[`parse_env_cases`] instead of mutating
+/// the environment (concurrent `set_var`/`var` is a data race under the
+/// parallel test harness).
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .as_deref()
+        .and_then(parse_env_cases)
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 256 }
+        Self {
+            cases: effective_cases(256, env_cases()),
+        }
     }
 }
 
@@ -176,13 +212,24 @@ macro_rules! prop_assert {
 /// Asserts equality inside a property.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if !(l == r) {
             return ::core::result::Result::Err(::std::format!(
                 "assertion failed: {} == {} (left: {:?}, right: {:?})",
                 ::core::stringify!($left),
                 ::core::stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "{} (left: {:?}, right: {:?})",
+                ::std::format!($($fmt)+),
                 l,
                 r
             ));
@@ -247,6 +294,25 @@ macro_rules! __proptest_items {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn proptest_cases_env_raises_but_never_lowers() {
+        // The resolution logic is pure — tested directly, without
+        // set_var (mutating the environment races the parallel test
+        // harness's other properties, which read it at config time).
+        assert_eq!(crate::effective_cases(256, None), 256);
+        assert_eq!(crate::effective_cases(64, None), 64);
+        assert_eq!(crate::effective_cases(256, Some(512)), 512);
+        assert_eq!(crate::effective_cases(64, Some(512)), 512, "env raises");
+        assert_eq!(
+            crate::effective_cases(64, Some(8)),
+            64,
+            "env never lowers an explicit request"
+        );
+        assert_eq!(crate::parse_env_cases(" 512 "), Some(512));
+        assert_eq!(crate::parse_env_cases("zebra"), None, "bad values ignored");
+        assert_eq!(crate::parse_env_cases(""), None);
+    }
 
     #[test]
     fn strategies_are_deterministic_per_name() {

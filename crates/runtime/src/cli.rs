@@ -11,12 +11,14 @@
 //!   case-insensitively if needed — or case-insensitive substring) and
 //!   print its full result.
 //! * `leopard sweep --param nqk=2..10` — design-space sweep over a tile
-//!   parameter (`nqk`, `serial-bits`, or the `qk-bits` quantization-width
-//!   ablation), reusing cached workloads across design points.
+//!   parameter (`nqk`, `serial-bits`, the `qk-bits` quantization-width
+//!   ablation, or the `tiles` multi-tile scaling ablation), reusing cached
+//!   workloads across design points.
 //! * `leopard list` — list the suite's tasks.
 //!
 //! Shared flags: `--threads N` (0 = all cores), `--max-seq-len L`,
-//! `--heads H`, `--quick` (every 4th task), `--full-scale`,
+//! `--heads H`, `--tiles T` (partition each head across T tiles),
+//! `--quick` (every 4th task), `--full-scale`,
 //! `--schedule fifo|ljf` (suite and serve), `--json PATH` / `--csv PATH`
 //! for structured reports. `--full-scale` and `--max-seq-len` are mutually
 //! exclusive — the combination is rejected rather than letting whichever
@@ -33,6 +35,7 @@ use crate::serving::{run_serving, ArrivalProcess, RequestMix, ServingOptions, Se
 use leopard_accel::config::TileConfig;
 use leopard_accel::cost::head_cost;
 use leopard_accel::energy::EnergyModel;
+use leopard_accel::schedule::simulate_head_tiled;
 use leopard_accel::sim::simulate_head;
 use leopard_workloads::pipeline::{PipelineOptions, SimUnitKind};
 use leopard_workloads::suite::{full_suite, quick_subset, TaskDescriptor};
@@ -118,6 +121,12 @@ pub enum SweepParam {
     /// re-quantizes the workload at the swept width, so the workload cache
     /// keys one entry per `(task, width)`.
     QkBits,
+    /// Number of tiles each head's Q rows are partitioned across (the
+    /// scaling axis of the multi-tile accelerator). Reports per-design-
+    /// point makespan, cycle-level speedup over one tile, and load
+    /// balance; merged results are bit-identical across the sweep by the
+    /// tile scheduler's conformance contract.
+    Tiles,
 }
 
 impl SweepParam {
@@ -126,6 +135,7 @@ impl SweepParam {
             SweepParam::NQk => "nqk",
             SweepParam::SerialBits => "serial-bits",
             SweepParam::QkBits => "qk-bits",
+            SweepParam::Tiles => "tiles",
         }
     }
 }
@@ -158,6 +168,10 @@ FLAGS:
     --threads N       worker threads (default 0 = one per core)
     --max-seq-len L   cap the simulated sequence length (default 96)
     --heads H         attention heads simulated per task (default 1)
+    --tiles T         partition each head's Q rows across T tiles (default
+                      1; suite results are bit-identical for every T — in
+                      serve mode, service cycles become the per-head tile
+                      makespan)
     --quick           keep every 4th task only
     --full-scale      simulate the paper's full sequence lengths (slow;
                       conflicts with --max-seq-len)
@@ -189,6 +203,8 @@ PARAM SPECS:
     --param serial-bits=1,2,4,12 explicit list
     --param qk-bits=4..12        Q/K quantization width ablation (re-quantizes
                                  the operands at each width)
+    --param tiles=1..8           tile-count ablation (per-head makespan,
+                                 speedup over one tile, load balance)
 ";
 
 /// Parses `a..b` (inclusive) or `a,b,c` into a value list.
@@ -236,6 +252,7 @@ fn parse_param(arg: &str) -> Result<(SweepParam, Vec<u32>), String> {
         "nqk" | "n_qk" => SweepParam::NQk,
         "serial-bits" | "serial_bits" | "granularity" => SweepParam::SerialBits,
         "qk-bits" | "qk_bits" => SweepParam::QkBits,
+        "tiles" => SweepParam::Tiles,
         other => return Err(format!("unknown sweep parameter {other:?}")),
     };
     let values = parse_values(spec)?;
@@ -247,6 +264,7 @@ fn parse_param(arg: &str) -> Result<(SweepParam, Vec<u32>), String> {
             SweepParam::NQk => (1..=64).contains(&v),
             SweepParam::SerialBits => (1..=12).contains(&v),
             SweepParam::QkBits => (4..=16).contains(&v),
+            SweepParam::Tiles => (1..=64).contains(&v),
         };
         if !ok {
             return Err(format!("value {v} out of range for {}", param.label()));
@@ -269,6 +287,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut all_tasks = false;
     let mut schedule_set = false;
     let mut max_seq_len_set = false;
+    let mut tiles_set = false;
     let mut full_scale = false;
     let mut serve_flag_seen: Option<&'static str> = None;
 
@@ -296,6 +315,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let v = take_value(&mut it, "--heads")?;
                 common.pipeline.heads = v.parse().map_err(|_| format!("bad head count {v:?}"))?;
             }
+            "--tiles" => {
+                let v = take_value(&mut it, "--tiles")?;
+                common.pipeline.tiles = v.parse().map_err(|_| format!("bad tile count {v:?}"))?;
+                if common.pipeline.tiles == 0 {
+                    return Err("--tiles must be at least 1".to_string());
+                }
+                tiles_set = true;
+            }
             "--quick" => common.quick = true,
             "--full-scale" => {
                 common.pipeline.max_sim_seq_len = usize::MAX;
@@ -319,6 +346,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 serve.rate_rps = v.parse().map_err(|_| format!("bad rate {v:?}"))?;
                 if !(serve.rate_rps.is_finite() && serve.rate_rps > 0.0) {
                     return Err(format!("--rate must be positive, got {v:?}"));
+                }
+                // A vanishing-but-positive rate would overflow the mean
+                // inter-arrival gap to infinity and degenerate the stream
+                // (regression: the library now also rejects it).
+                if serve.rate_rps < 1e-3 {
+                    return Err(format!("--rate must be at least 0.001 req/s, got {v:?}"));
                 }
                 serve_flag_seen = serve_flag_seen.or(Some("--rate"));
             }
@@ -403,6 +436,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "sweep" => {
             let (param, values) = sweep.ok_or("`leopard sweep` expects --param name=values")?;
+            if tiles_set {
+                // Reject rather than silently ignore (same convention as
+                // --heads/--quick below): a nqk/serial-bits/qk-bits sweep
+                // simulates single-tile, and a tiles sweep sets the tile
+                // count per design point itself.
+                return Err(if param == SweepParam::Tiles {
+                    "--tiles conflicts with `--param tiles=...`: the sweep sets the tile \
+                     count per design point"
+                        .to_string()
+                } else {
+                    "`leopard sweep` simulates on a single tile; --tiles is not supported \
+                     (use `--param tiles=...` to ablate the tile count)"
+                        .to_string()
+                });
+            }
             // Reject flags the sweep would silently ignore: it simulates
             // head 0 of each task and prints its own table.
             if common.quick {
@@ -516,7 +564,7 @@ fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), Str
         .map_or_else(|| "none".to_string(), |s| format!("{s} cycles"));
     println!(
         "serving {} requests at {:.0} req/s ({} arrivals, {} mix, {} schedule, slo {}, {} \
-         virtual tiles, seed {:#x}) on {} worker threads...",
+         servers x {} tile(s), seed {:#x}) on {} worker threads...",
         options.requests,
         options.rate_rps,
         options.arrivals.label(),
@@ -524,6 +572,7 @@ fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), Str
         options.policy.label(),
         slo,
         options.servers,
+        options.pipeline.tiles.max(1),
         options.seed,
         runner.threads(),
     );
@@ -711,14 +760,21 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
         tasks.len(),
         runner.threads(),
     );
-    println!(
-        "\n{:>12} {:>12} {:>12} {:>12} {:>12}",
-        spec.param.label(),
-        "V-PU demand",
-        "V-PU util",
-        "mean cycles",
-        "prune rate"
-    );
+    if spec.param == SweepParam::Tiles {
+        println!(
+            "\n{:>12} {:>14} {:>12} {:>12} {:>12}",
+            "tiles", "makespan cyc", "speedup", "balance", "prune rate"
+        );
+    } else {
+        println!(
+            "\n{:>12} {:>12} {:>12} {:>12} {:>12}",
+            spec.param.label(),
+            "V-PU demand",
+            "V-PU util",
+            "mean cycles",
+            "prune rate"
+        );
+    }
 
     let start = std::time::Instant::now();
     for &value in &spec.values {
@@ -733,12 +789,42 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
             },
             _ => common.pipeline,
         };
+        if param == SweepParam::Tiles {
+            // Tile-count ablation: partition each head across `value`
+            // tiles and report the parallel makespan, the cycle-level
+            // speedup over single-tile execution, and the load balance.
+            // Merged accounting is bit-identical across design points by
+            // the conformance contract, so pruning never moves.
+            let rows = parallel_map(runner.pool(), tasks.clone(), move |_, task| {
+                let workload = cache.head_workload(task, &pipeline, 0);
+                let tiled =
+                    simulate_head_tiled(&workload, &TileConfig::ae_leopard(), value as usize);
+                (
+                    tiled.makespan_cycles() as f64,
+                    tiled.tile_speedup(),
+                    tiled.balance(),
+                    tiled.merged.pruning_rate(),
+                )
+            });
+            let n = rows.len() as f64;
+            let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / n;
+            println!(
+                "{:>12} {:>14.0} {:>11.2}x {:>11.1}% {:>11.1}%",
+                value,
+                mean(|r| r.0),
+                mean(|r| r.1),
+                mean(|r| r.2) * 100.0,
+                mean(|r| r.3) * 100.0,
+            );
+            continue;
+        }
         let rows = parallel_map(runner.pool(), tasks.clone(), move |_, task| {
             let workload = cache.head_workload(task, &pipeline, 0);
             let config = match param {
                 SweepParam::NQk => TileConfig::ae_leopard().with_n_qk(value as usize),
                 SweepParam::SerialBits => TileConfig::ae_leopard().with_serial_bits(value),
                 SweepParam::QkBits => TileConfig::ae_leopard().with_qk_bits(value),
+                SweepParam::Tiles => unreachable!("handled above"),
             };
             let sim = simulate_head(&workload, &config);
             (
@@ -902,6 +988,66 @@ mod tests {
             "1",
         ]))
         .expect("qk-bits sweep should run");
+    }
+
+    #[test]
+    fn parses_tiles_flag_and_tiles_sweep() {
+        match parse(&args(&["suite", "--tiles", "4"])).unwrap() {
+            Command::Suite(common) => assert_eq!(common.pipeline.tiles, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args(&["serve", "--tiles", "2"])).unwrap() {
+            Command::Serve(_, common) => assert_eq!(common.pipeline.tiles, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&args(&["suite", "--tiles", "0"])).is_err());
+        assert!(parse(&args(&["suite", "--tiles", "many"])).is_err());
+        // The tiles sweep parses like the other parameters...
+        assert_eq!(
+            parse_param("tiles=1..8").unwrap(),
+            (SweepParam::Tiles, (1..=8).collect())
+        );
+        assert!(parse_param("tiles=0..4").is_err(), "0 tiles is invalid");
+        assert!(parse_param("tiles=65").is_err());
+        // ... and conflicts with a fixed --tiles, while non-tiles sweeps
+        // reject --tiles instead of silently ignoring it.
+        let err = parse(&args(&["sweep", "--param", "tiles=1..4", "--tiles", "2"])).unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+        let err = parse(&args(&["sweep", "--param", "nqk=2..4", "--tiles", "2"])).unwrap_err();
+        assert!(err.contains("--param tiles"), "{err}");
+    }
+
+    #[test]
+    fn tiles_sweep_runs_end_to_end() {
+        run(&args(&[
+            "sweep",
+            "--param",
+            "tiles=1,4",
+            "--max-seq-len",
+            "16",
+            "--threads",
+            "1",
+        ]))
+        .expect("tiles sweep should run");
+    }
+
+    #[test]
+    fn degenerate_serve_streams_are_rejected_with_clear_errors() {
+        // Regression matrix for the degenerate-stream class: zero/negative
+        // mix totals, a zero SLO, and vanishing offered rates must all be
+        // CLI errors, not degenerate runs.
+        let zero_mix = parse(&args(&["serve", "--mix", "memn2n=0,bert-b=0"])).unwrap_err();
+        assert!(zero_mix.contains("positive weight"), "{zero_mix}");
+        let negative = parse(&args(&["serve", "--mix", "memn2n=-2"])).unwrap_err();
+        assert!(negative.contains(">= 0"), "{negative}");
+        let zero_slo = parse(&args(&["serve", "--slo-cycles", "0"])).unwrap_err();
+        assert!(zero_slo.contains("at least 1"), "{zero_slo}");
+        let tiny_rate = parse(&args(&["serve", "--rate", "1e-300"])).unwrap_err();
+        assert!(tiny_rate.contains("at least 0.001"), "{tiny_rate}");
+        // Healthy variants of each flag still parse.
+        assert!(parse(&args(&["serve", "--mix", "memn2n=0,bert-b=1"])).is_ok());
+        assert!(parse(&args(&["serve", "--slo-cycles", "1"])).is_ok());
+        assert!(parse(&args(&["serve", "--rate", "0.5"])).is_ok());
     }
 
     #[test]

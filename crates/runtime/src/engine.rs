@@ -11,14 +11,21 @@
 //! ```
 //!
 //! Build jobs construct (or fetch from the [`WorkloadCache`]) the quantized
-//! head workload and then spawn the four per-configuration simulation units
-//! onto the worker's local queue; the unit that completes a task's last slot
-//! spawns the aggregation job. Aggregation consumes the slots in head order
-//! and runs exactly the same arithmetic as the serial
+//! head workload and then spawn the per-configuration simulation units onto
+//! the worker's local queue. Each unit fans out one level further: with
+//! [`PipelineOptions::tiles`] set to `T`, a unit becomes `T` **tile-shard
+//! jobs** (contiguous Q-row ranges from [`TilePartition`]), so the
+//! engine parallelizes *within* a head the way the paper's accelerator
+//! partitions work across its tiles. The job that completes a task's last
+//! shard merges every unit's shards ([`merge_head_shards`]) and
+//! runs the aggregation. Aggregation consumes the units in head order and
+//! runs exactly the same arithmetic as the serial
 //! [`run_task`](leopard_workloads::pipeline::run_task), so results are
-//! **bit-identical** for any thread count — parallelism only changes *when*
-//! a unit runs, never what it computes, because every unit is a pure
-//! function of `(task, options, head, kind)` with a fixed per-head seed.
+//! **bit-identical** for any thread count *and any tile count* —
+//! parallelism only changes *when* a shard runs, never what it computes,
+//! because every shard is a pure function of `(task, options, head, kind,
+//! tile)` with a fixed per-head seed, and the shard merge reconstructs the
+//! single-tile accounting exactly.
 //!
 //! Per-stage wall-clock totals (build / simulate / aggregate) are
 //! accumulated with atomics and reported alongside the results.
@@ -26,8 +33,10 @@
 use crate::cache::{CacheStats, WorkloadCache};
 use crate::pool::{default_threads, ThreadPool};
 use crate::sched::{submission_order, SchedulePolicy};
+use leopard_accel::schedule::{merge_head_shards, TilePartition};
+use leopard_accel::sim::TileShardSim;
 use leopard_workloads::pipeline::{
-    aggregate_task, predict_task_cycles, simulate_unit, HeadUnitResults, PipelineOptions,
+    aggregate_task, predict_task_cycles, simulate_unit_shard, HeadUnitResults, PipelineOptions,
     SimUnitKind, TaskResult,
 };
 use leopard_workloads::suite::TaskDescriptor;
@@ -82,7 +91,9 @@ pub struct SuiteReport {
     pub wall: Duration,
     /// Per-stage totals summed over workers.
     pub stages: StageTotals,
-    /// Number of jobs executed (builds + simulation units + aggregations).
+    /// Number of jobs executed (builds + simulation shard jobs +
+    /// aggregations; each simulation unit contributes one shard job per
+    /// tile).
     pub jobs: usize,
     /// Workload-cache counters for this runner (cumulative across runs).
     pub cache: CacheStats,
@@ -94,22 +105,38 @@ pub struct SuiteReport {
 struct TaskState {
     task: TaskDescriptor,
     heads: usize,
-    /// `heads * 4` slots, indexed `head * 4 + kind.index()`.
-    slots: Vec<Mutex<Option<leopard_accel::sim::HeadSimResult>>>,
+    /// Tiles each unit's Q rows are partitioned across.
+    tiles: usize,
+    /// `heads * 4 * tiles` shard slots, indexed
+    /// `(head * 4 + kind.index()) * tiles + tile`.
+    slots: Vec<Mutex<Option<TileShardSim>>>,
     remaining: AtomicUsize,
 }
 
 impl TaskState {
+    fn slot_index(&self, head: usize, kind: SimUnitKind, tile: usize) -> usize {
+        (head * SimUnitKind::ALL.len() + kind.index()) * self.tiles + tile
+    }
+
+    /// Reassembles every unit from its tile shards (merge order is fixed by
+    /// tile index, so the merged results are independent of execution
+    /// order) and groups them per head.
     fn assemble_heads(&self) -> Vec<HeadUnitResults> {
         (0..self.heads)
             .map(|head| {
                 let units: Vec<Option<_>> = SimUnitKind::ALL
                     .iter()
                     .map(|kind| {
-                        self.slots[head * SimUnitKind::ALL.len() + kind.index()]
-                            .lock()
-                            .expect("slot poisoned")
-                            .take()
+                        let shards: Vec<TileShardSim> = (0..self.tiles)
+                            .map(|tile| {
+                                self.slots[self.slot_index(head, *kind, tile)]
+                                    .lock()
+                                    .expect("slot poisoned")
+                                    .take()
+                                    .unwrap_or_else(|| panic!("missing shard {tile} for {kind:?}"))
+                            })
+                            .collect();
+                        Some(merge_head_shards(self.tiles, &shards).merged)
                     })
                     .collect();
                 HeadUnitResults::from_indexed(units)
@@ -201,6 +228,7 @@ impl SuiteRunner {
         let clocks = Arc::new(StageClocks::default());
         let jobs = Arc::new(AtomicUsize::new(0));
         let heads = options.heads.max(1);
+        let tiles = options.tiles.max(1);
         let unit_count = SimUnitKind::ALL.len();
 
         let costs: Vec<u64> = tasks
@@ -210,11 +238,13 @@ impl SuiteRunner {
         let (tx, rx) = std::sync::mpsc::channel::<(usize, TaskResult)>();
         for task_index in submission_order(&costs, policy) {
             let task = &tasks[task_index];
+            let slot_count = heads * unit_count * tiles;
             let state = Arc::new(TaskState {
                 task: task.clone(),
                 heads,
-                slots: (0..heads * unit_count).map(|_| Mutex::new(None)).collect(),
-                remaining: AtomicUsize::new(heads * unit_count),
+                tiles,
+                slots: (0..slot_count).map(|_| Mutex::new(None)).collect(),
+                remaining: AtomicUsize::new(slot_count),
             });
             for head in 0..heads {
                 self.spawn_build_job(
@@ -268,34 +298,43 @@ impl SuiteRunner {
             let workload = cache.head_workload(&state.task, &options, head);
             StageClocks::charge(&clocks.build_ns, build_start);
 
+            // Sub-DAG fan-out: one shard job per (unit kind, tile). The
+            // partition is a pure function of the workload's sequence
+            // length and the tile count, so every thread count spawns the
+            // same shards; merge order is fixed by tile index.
+            let partition = TilePartition::new(workload.seq_len(), state.tiles);
             for kind in SimUnitKind::ALL {
-                let state = Arc::clone(&state);
-                let workload = Arc::clone(&workload);
-                let tx = tx.clone();
-                let clocks = Arc::clone(&clocks);
-                let jobs = Arc::clone(&jobs);
-                spawner.spawn(move || {
-                    jobs.fetch_add(1, Ordering::Relaxed);
-                    let sim_start = Instant::now();
-                    let result = simulate_unit(&workload, kind);
-                    StageClocks::charge(&clocks.simulate_ns, sim_start);
-
-                    *state.slots[head * SimUnitKind::ALL.len() + kind.index()]
-                        .lock()
-                        .expect("slot poisoned") = Some(result);
-                    if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                        // Last unit of the task: aggregate right here (the
-                        // slots are complete and this worker is warm).
+                for tile in 0..state.tiles {
+                    let state = Arc::clone(&state);
+                    let workload = Arc::clone(&workload);
+                    let tx = tx.clone();
+                    let clocks = Arc::clone(&clocks);
+                    let jobs = Arc::clone(&jobs);
+                    let rows = partition.range(tile);
+                    spawner.spawn(move || {
                         jobs.fetch_add(1, Ordering::Relaxed);
-                        let agg_start = Instant::now();
-                        let heads = state.assemble_heads();
-                        let result = aggregate_task(&state.task, &options, &heads);
-                        StageClocks::charge(&clocks.aggregate_ns, agg_start);
-                        // The receiver only disappears if the caller
-                        // panicked; dropping the result is then fine.
-                        let _ = tx.send((task_index, result));
-                    }
-                });
+                        let sim_start = Instant::now();
+                        let shard = simulate_unit_shard(&workload, kind, rows);
+                        StageClocks::charge(&clocks.simulate_ns, sim_start);
+
+                        *state.slots[state.slot_index(head, kind, tile)]
+                            .lock()
+                            .expect("slot poisoned") = Some(shard);
+                        if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            // Last shard of the task: merge and aggregate
+                            // right here (the slots are complete and this
+                            // worker is warm).
+                            jobs.fetch_add(1, Ordering::Relaxed);
+                            let agg_start = Instant::now();
+                            let heads = state.assemble_heads();
+                            let result = aggregate_task(&state.task, &options, &heads);
+                            StageClocks::charge(&clocks.aggregate_ns, agg_start);
+                            // The receiver only disappears if the caller
+                            // panicked; dropping the result is then fine.
+                            let _ = tx.send((task_index, result));
+                        }
+                    });
+                }
             }
         });
     }
@@ -387,6 +426,42 @@ mod tests {
         );
         assert_eq!(ljf.schedule, SchedulePolicy::Ljf);
         assert_eq!(fifo.jobs, ljf.jobs);
+    }
+
+    #[test]
+    fn tile_partitioned_execution_is_bit_identical_to_serial() {
+        // The tile scheduler's engine-level contract: any tile count — and
+        // any thread count executing its shards — reproduces the serial
+        // pipeline exactly, while the job count reflects the shard fan-out.
+        let tasks: Vec<_> = full_suite().into_iter().take(3).collect();
+        let serial: Vec<TaskResult> = tasks.iter().map(|t| run_task(t, &quick())).collect();
+        for tiles in [2usize, 3, 8] {
+            let options = PipelineOptions { tiles, ..quick() };
+            for threads in [1usize, 4] {
+                let report = run_suite_parallel(&tasks, &options, threads);
+                assert_eq!(
+                    report.results, serial,
+                    "tiles={tiles}, threads={threads} diverged from serial"
+                );
+                // 3 tasks x (1 build + 4 units x tiles shards + 1 aggregate).
+                assert_eq!(report.jobs, 3 * (1 + 4 * tiles + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn tile_shards_share_one_workload_build() {
+        // The shard fan-out must not multiply workload construction: all
+        // 4 * tiles shards of a head consume the same cached build.
+        let tasks: Vec<_> = full_suite().into_iter().take(2).collect();
+        let options = PipelineOptions {
+            tiles: 4,
+            ..quick()
+        };
+        let runner = SuiteRunner::new(4);
+        let report = runner.run(&tasks, &options);
+        assert_eq!(report.cache.misses, 2, "one build per head");
+        assert_eq!(report.cache.hits, 0);
     }
 
     #[test]

@@ -252,6 +252,7 @@ pub fn serving_report_json(report: &ServingReport) -> String {
             .map_or("null".to_string(), |slo| slo.to_string())
     );
     let _ = writeln!(out, "  \"servers\": {},", report.servers);
+    let _ = writeln!(out, "  \"tiles\": {},", report.tiles);
     let _ = writeln!(out, "  \"threads\": {},", report.threads);
     let _ = writeln!(out, "  \"frequency_mhz\": {},", report.frequency_mhz);
     let _ = writeln!(out, "  \"offered\": {},", report.offered());
@@ -369,12 +370,14 @@ pub fn serving_summary(report: &ServingReport) -> String {
     let latency = report.latency();
     let _ = writeln!(
         out,
-        "latency at the {} MHz tile clock ({} schedule, {} arrivals, {} mix, {} tiles):",
+        "latency at the {} MHz tile clock ({} schedule, {} arrivals, {} mix, {} servers x \
+         {} tile(s)):",
         report.frequency_mhz,
         report.policy.label(),
         report.arrivals.label(),
         report.mix_label,
-        report.servers
+        report.servers,
+        report.tiles
     );
     for (label, value) in [
         ("p50", latency.p50_us),

@@ -17,8 +17,15 @@
 //! 1. **Execute** — every distinct task in the request mix is simulated on
 //!    the work-stealing pool (all heads on the serving tile configuration,
 //!    workloads via the shared [`WorkloadCache`](crate::cache)). This
-//!    yields each request's ground-truth *service* cycles. Simulation is a
-//!    pure function of the task, so this phase parallelizes freely.
+//!    yields each request's ground-truth *service* cycles. A request no
+//!    longer occupies an opaque virtual server for its single-tile cycle
+//!    count: each dispatch slot models an accelerator whose
+//!    [`PipelineOptions::tiles`] tiles split every head's Q rows, so the
+//!    service time is the per-head tile **makespan** (from
+//!    [`simulate_head_tiled`] — merged accounting stays bit-identical to
+//!    single-tile execution; only the parallel latency changes).
+//!    Simulation is a pure function of the task, so this phase
+//!    parallelizes freely.
 //! 2. **Replay** — a single-threaded discrete-event loop replays the
 //!    arrival process against `servers` virtual tiles on a virtual cycle
 //!    clock: requests are admitted at their arrival cycle, the policy picks
@@ -38,10 +45,10 @@ use crate::engine::SuiteRunner;
 use crate::pool::parallel_map;
 use crate::sched::{PredictedJob, ReadyQueue, SchedulePolicy};
 use leopard_accel::config::TileConfig;
-use leopard_accel::sim::simulate_head;
+use leopard_accel::schedule::simulate_head_tiled;
 use leopard_tensor::rng;
 use leopard_transformer::config::ModelFamily;
-use leopard_workloads::pipeline::{predict_serving_cycles, PipelineOptions};
+use leopard_workloads::pipeline::{predict_serving_cycles_tiled, PipelineOptions};
 use leopard_workloads::suite::TaskDescriptor;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -304,7 +311,11 @@ pub struct ServingOptions {
     /// SLO deadline in virtual cycles from arrival to completion. When set,
     /// the admission controller sheds any picked request whose *predicted*
     /// completion would miss the deadline, and the report carries shed rate
-    /// and goodput. `None` admits everything.
+    /// and goodput. `None` admits everything. `Some(0)` is degenerate but
+    /// well-defined **shed-all** semantics: every prediction exceeds an
+    /// already-expired deadline, so the entire stream is shed and the
+    /// report is headers-only (the CLI rejects `--slo-cycles 0` so users
+    /// reach this corner deliberately, through the library, or not at all).
     pub slo_cycles: Option<u64>,
     /// Number of virtual tiles requests are dispatched onto.
     pub servers: usize,
@@ -465,6 +476,9 @@ pub struct ServingReport {
     /// Worker threads the execution phase ran on (does not affect any
     /// cycle-accounted field).
     pub threads: usize,
+    /// Tiles each request's heads were partitioned across (the per-request
+    /// tile schedule; 1 is the single-tile legacy model).
+    pub tiles: usize,
     /// Tile clock, for converting cycles to time.
     pub frequency_mhz: u32,
     /// Per-request accounting of the *admitted* requests, in request-id
@@ -675,6 +689,14 @@ pub fn generate_requests(suite: &[TaskDescriptor], options: &ServingOptions) -> 
         options.rate_rps > 0.0 && options.rate_rps.is_finite(),
         "arrival rate must be positive and finite"
     );
+    let mean_gap_check = f64::from(options.config.frequency_mhz) * 1e6 / options.rate_rps;
+    assert!(
+        mean_gap_check.is_finite(),
+        "offered rate {} req/s is too small for the {} MHz clock: the mean \
+         inter-arrival gap overflows to infinity and the stream degenerates",
+        options.rate_rps,
+        options.config.frequency_mhz
+    );
     let weights = options.mix.task_weights(suite);
     let total_weight: f64 = weights.iter().sum();
     // Float-rounding fallback: a draw that walks off the CDF must land on a
@@ -729,19 +751,23 @@ pub fn run_serving(
     let requests = generate_requests(suite, options);
 
     // --- Phase 1: execute. Ground-truth service cycles per *distinct* task
-    // (requests repeating a task share the result), in parallel on the pool.
+    // (requests repeating a task share the result), in parallel on the
+    // pool. Service time is the per-head makespan of the request's tile
+    // schedule: each head's rows split across `pipeline.tiles` tiles, heads
+    // run back to back.
     let mut used: Vec<usize> = requests.iter().map(|r| r.task_index).collect();
     used.sort_unstable();
     used.dedup();
     let cache = Arc::clone(runner.cache());
     let pipeline = options.pipeline;
     let config = options.config;
+    let tiles = pipeline.tiles.max(1);
     let tasks: Vec<TaskDescriptor> = used.iter().map(|&i| suite[i].clone()).collect();
     let service: Vec<u64> = parallel_map(runner.pool(), tasks, move |_, task| {
         (0..pipeline.heads.max(1))
             .map(|head| {
                 let workload = cache.head_workload(task, &pipeline, head);
-                simulate_head(&workload, &config).total_cycles
+                simulate_head_tiled(&workload, &config, tiles).makespan_cycles()
             })
             .sum()
     });
@@ -750,10 +776,14 @@ pub fn run_serving(
     };
 
     // --- Phase 2: replay the arrival process in virtual time. Predictions,
-    // like service cycles, are per distinct task; requests share them.
+    // like service cycles, are per distinct task (and tile-aware, so the
+    // scheduler's view shrinks with the tile count just as service does);
+    // requests share them.
     let predicted_of: Vec<u64> = used
         .iter()
-        .map(|&i| predict_serving_cycles(&suite[i], &options.pipeline, &options.config))
+        .map(|&i| {
+            predict_serving_cycles_tiled(&suite[i], &options.pipeline, &options.config, tiles)
+        })
         .collect();
     let predicted: Vec<u64> = requests
         .iter()
@@ -862,6 +892,7 @@ pub fn run_serving(
         slo_cycles: options.slo_cycles,
         servers: options.servers,
         threads: runner.threads(),
+        tiles,
         frequency_mhz: options.config.frequency_mhz,
         // Shed requests leave a hole; admitted records keep arrival order.
         records: records.into_iter().flatten().collect(),
@@ -1081,6 +1112,75 @@ mod tests {
             assert!(last.is_none_or(|l| r.id > l));
             last = Some(r.id);
         }
+    }
+
+    #[test]
+    fn tile_schedules_shrink_service_cycles_and_stay_deterministic() {
+        // Replaying onto a real multi-tile schedule cuts every request's
+        // service cycles relative to the single-tile model (same stream,
+        // same tasks), and repeated runs are reproducible.
+        let suite: Vec<_> = full_suite().into_iter().take(6).collect();
+        let single = run_serving(&SuiteRunner::new(2), &suite, &quick_options());
+        let tiled_options = ServingOptions {
+            pipeline: PipelineOptions {
+                tiles: 4,
+                ..quick_options().pipeline
+            },
+            ..quick_options()
+        };
+        let tiled = run_serving(&SuiteRunner::new(2), &suite, &tiled_options);
+        assert_eq!(tiled.tiles, 4);
+        assert_eq!(single.tiles, 1);
+        assert_eq!(single.records.len(), tiled.records.len());
+        for (a, b) in single.records.iter().zip(&tiled.records) {
+            assert_eq!(a.task_id, b.task_id, "same arrival stream");
+            assert!(
+                b.service_cycles < a.service_cycles,
+                "request {} did not speed up on 4 tiles ({} vs {})",
+                a.id,
+                b.service_cycles,
+                a.service_cycles
+            );
+            assert!(b.predicted_cycles <= a.predicted_cycles);
+        }
+        let again = run_serving(&SuiteRunner::new(1), &suite, &tiled_options);
+        assert_eq!(
+            tiled.records, again.records,
+            "tiled replay must be deterministic"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn vanishing_rate_is_rejected_instead_of_degenerating() {
+        // Regression: a tiny-but-positive offered rate used to overflow the
+        // mean inter-arrival gap to infinity, silently producing a stream
+        // of saturated arrival cycles.
+        let suite = full_suite();
+        let options = ServingOptions {
+            rate_rps: 1e-300,
+            ..quick_options()
+        };
+        let _ = generate_requests(&suite, &options);
+    }
+
+    #[test]
+    fn zero_cycle_slo_means_documented_shed_all() {
+        // ServingOptions::slo_cycles documents Some(0) as shed-all: the
+        // replay completes, admits nothing, and sheds the full stream.
+        let suite: Vec<_> = full_suite().into_iter().take(4).collect();
+        let report = run_serving(
+            &SuiteRunner::new(1),
+            &suite,
+            &ServingOptions {
+                slo_cycles: Some(0),
+                ..quick_options()
+            },
+        );
+        assert!(report.records.is_empty());
+        assert_eq!(report.shed.len(), 40);
+        assert_eq!(report.shed_rate(), 1.0);
+        assert_eq!(report.slo_met(), 0);
     }
 
     #[test]

@@ -43,6 +43,29 @@ fn parallel_results_equal_serial_pipeline() {
 }
 
 #[test]
+fn tile_partitioned_results_equal_serial_for_every_thread_count() {
+    // The tile scheduler's engine-level conformance contract on the
+    // integration axis: tiles x threads never changes a result, and the
+    // rendered CSV (what the CI smoke compares) is byte-identical to the
+    // single-tile single-thread run.
+    let tasks = reduced_suite();
+    let options = reduced_options();
+    let reference = run_suite_parallel(&tasks, &options, 1);
+    let reference_csv = task_results_csv(&reference.results);
+    for tiles in [2usize, 3, 4] {
+        let tiled_options = PipelineOptions { tiles, ..options };
+        for threads in [1usize, 4] {
+            let report = run_suite_parallel(&tasks, &tiled_options, threads);
+            assert_eq!(
+                task_results_csv(&report.results),
+                reference_csv,
+                "tiles={tiles}, threads={threads} CSV diverged"
+            );
+        }
+    }
+}
+
+#[test]
 fn repeated_parallel_runs_are_deterministic() {
     let tasks = reduced_suite();
     let options = reduced_options();

@@ -1,0 +1,145 @@
+//! Golden-file snapshot tests for the CLI's structured report output.
+//!
+//! The existing determinism tests compare a run against *itself* at other
+//! thread counts — they cannot see accidental report-format drift (a
+//! renamed CSV column, a reordered JSON key, a precision change) because
+//! both sides drift together. These tests pin the rendered bytes of one
+//! `suite` run and one `serve` run at a fixed seed against fixtures
+//! committed in `tests/fixtures/`, so any change to report content or
+//! format shows up as a reviewable fixture diff.
+//!
+//! CSV fixtures are compared byte-for-byte. JSON fixtures are compared
+//! after masking the wall-clock lines (`*_seconds`), which are the only
+//! non-deterministic fields; everything else — cache counters, job counts,
+//! cycle numbers, float formatting — is part of the snapshot.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! LEOPARD_BLESS=1 cargo test -p leopard-runtime --test golden
+//! ```
+
+use leopard_runtime::engine::SuiteRunner;
+use leopard_runtime::report::{
+    serving_report_json, serving_requests_csv, suite_report_json, task_results_csv,
+};
+use leopard_runtime::serving::{run_serving, ServingOptions};
+use leopard_workloads::pipeline::PipelineOptions;
+use leopard_workloads::suite::{full_suite, TaskDescriptor};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `actual` against the committed fixture, or rewrites the
+/// fixture when `LEOPARD_BLESS` is set. On mismatch the first differing
+/// line is reported, which localizes format drift immediately.
+fn assert_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("LEOPARD_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with LEOPARD_BLESS=1 cargo test -p \
+             leopard-runtime --test golden",
+            path.display()
+        )
+    });
+    if expected != actual {
+        for (line, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+            assert_eq!(
+                want,
+                got,
+                "{name} drifted at line {} (regenerate with LEOPARD_BLESS=1 if intentional)",
+                line + 1
+            );
+        }
+        panic!(
+            "{name} drifted in length: fixture {} lines, actual {} lines",
+            expected.lines().count(),
+            actual.lines().count()
+        );
+    }
+}
+
+/// Masks the wall-clock-dependent JSON lines, keeping everything else.
+fn mask_timing(json: &str) -> String {
+    json.lines()
+        .map(|line| {
+            if line.trim_start().starts_with("\"wall_seconds\"")
+                || line.trim_start().starts_with("\"stage_seconds\"")
+            {
+                let key_end = line.find(':').expect("masked line has a key");
+                format!("{}: \"<timing>\",", &line[..key_end])
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// A deterministic four-task slice spanning the suite's families.
+fn pinned_tasks() -> Vec<TaskDescriptor> {
+    full_suite().into_iter().step_by(11).collect()
+}
+
+fn pinned_pipeline() -> PipelineOptions {
+    PipelineOptions {
+        max_sim_seq_len: 24,
+        ..PipelineOptions::default()
+    }
+}
+
+#[test]
+fn suite_reports_match_golden_fixtures() {
+    let tasks = pinned_tasks();
+    assert_eq!(tasks.len(), 4, "pinned slice changed size");
+    let runner = SuiteRunner::new(2);
+    let report = runner.run(&tasks, &pinned_pipeline());
+    assert_golden("suite.csv", &task_results_csv(&report.results));
+    assert_golden("suite.json", &mask_timing(&suite_report_json(&report)));
+}
+
+#[test]
+fn serve_reports_match_golden_fixtures() {
+    let suite: Vec<TaskDescriptor> = full_suite().into_iter().take(8).collect();
+    let runner = SuiteRunner::new(2);
+    let options = ServingOptions {
+        requests: 16,
+        servers: 4,
+        pipeline: pinned_pipeline(),
+        ..ServingOptions::default()
+    };
+    let report = run_serving(&runner, &suite, &options);
+    assert_golden("serve.csv", &serving_requests_csv(&report));
+    assert_golden("serve.json", &mask_timing(&serving_report_json(&report)));
+}
+
+#[test]
+fn tiled_serve_report_matches_golden_fixture() {
+    // Pins the 2-tile schedule's service-cycle accounting: a change to the
+    // tile partition, the shard merge, or the makespan rule moves these
+    // bytes.
+    let suite: Vec<TaskDescriptor> = full_suite().into_iter().take(8).collect();
+    let runner = SuiteRunner::new(2);
+    let options = ServingOptions {
+        requests: 16,
+        servers: 4,
+        pipeline: PipelineOptions {
+            tiles: 2,
+            ..pinned_pipeline()
+        },
+        ..ServingOptions::default()
+    };
+    let report = run_serving(&runner, &suite, &options);
+    assert_eq!(report.tiles, 2);
+    assert_golden("serve_tiles2.csv", &serving_requests_csv(&report));
+}

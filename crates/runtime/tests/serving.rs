@@ -80,6 +80,39 @@ fn per_request_accounting_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn tiled_serving_accounting_is_identical_across_thread_counts() {
+    // Replaying onto a real 4-tile schedule must stay bit-identical across
+    // thread counts (the CI smoke for `serve --tiles 4`), and the tiled
+    // stream must finish earlier than the single-tile one.
+    let suite = reduced_suite();
+    let tiled_options = ServingOptions {
+        pipeline: PipelineOptions {
+            tiles: 4,
+            ..reduced_options().pipeline
+        },
+        ..reduced_options()
+    };
+    let reference = run_serving(&SuiteRunner::new(1), &suite, &tiled_options);
+    assert_eq!(reference.tiles, 4);
+    let reference_csv = serving_requests_csv(&reference);
+    for threads in [2usize, 4] {
+        let report = run_serving(&SuiteRunner::new(threads), &suite, &tiled_options);
+        assert_eq!(
+            serving_requests_csv(&report),
+            reference_csv,
+            "{threads}-thread 4-tile serving run diverged"
+        );
+    }
+    let single = run_serving(&SuiteRunner::new(1), &suite, &reduced_options());
+    assert!(
+        reference.makespan_cycles() < single.makespan_cycles(),
+        "4-tile schedules must drain the backlog sooner ({} vs {})",
+        reference.makespan_cycles(),
+        single.makespan_cycles()
+    );
+}
+
+#[test]
 fn slo_and_mix_accounting_is_identical_across_thread_counts() {
     // Determinism must also cover the admission controller's shed
     // decisions and the weighted task draws.

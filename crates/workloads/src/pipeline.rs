@@ -36,6 +36,16 @@ pub struct PipelineOptions {
     /// Correlation strength between Q and K rows; higher values concentrate
     /// probability mass on fewer keys, mimicking trained attention.
     pub qk_correlation: f32,
+    /// Number of tiles each head's Q rows are partitioned across (the
+    /// `tiles` dimension of `TileConfig`; values below 1 are treated as 1).
+    ///
+    /// Suite results are **bit-identical** for every value — partitioning
+    /// changes the engine's job decomposition and the per-tile makespan,
+    /// never a merged result (the tile scheduler's determinism contract).
+    /// Serving mode is where the tile count is *observable*: a request's
+    /// service cycles are the per-head tile **makespan**, so more tiles
+    /// mean shorter requests.
+    pub tiles: usize,
 }
 
 impl Default for PipelineOptions {
@@ -45,6 +55,7 @@ impl Default for PipelineOptions {
             heads: 1,
             qk_bits: 12,
             qk_correlation: 0.35,
+            tiles: 1,
         }
     }
 }
@@ -267,12 +278,27 @@ pub fn predict_serving_cycles(
     options: &PipelineOptions,
     config: &TileConfig,
 ) -> u64 {
-    fitted_cost_model().predict_request_cycles(
+    predict_serving_cycles_tiled(task, options, config, 1)
+}
+
+/// Tile-aware form of [`predict_serving_cycles`]: predicted cycles to serve
+/// one request when each head executes partitioned across `tiles` tiles
+/// (the schedule the serving engine replays when
+/// [`PipelineOptions::tiles`] exceeds 1). One tile reproduces
+/// [`predict_serving_cycles`] exactly.
+pub fn predict_serving_cycles_tiled(
+    task: &TaskDescriptor,
+    options: &PipelineOptions,
+    config: &TileConfig,
+    tiles: usize,
+) -> u64 {
+    fitted_cost_model().predict_request_cycles_tiled(
         task.family.name(),
         config,
         sim_seq_len(task, options),
         options.heads,
         task.paper_pruning_rate as f64,
+        tiles,
     )
 }
 
@@ -306,6 +332,20 @@ pub fn build_head_workload(
 /// Runs one simulation unit: one head workload on one tile configuration.
 pub fn simulate_unit(workload: &HeadWorkload, kind: SimUnitKind) -> HeadSimResult {
     simulate_head(workload, &kind.tile_config())
+}
+
+/// Runs one tile shard of a simulation unit: the contiguous `rows` slice of
+/// one head workload on one tile configuration. The engine schedules these
+/// as sub-DAG jobs and reassembles them with
+/// [`leopard_accel::schedule::merge_head_shards`]; merging every shard of a
+/// unit reproduces [`simulate_unit`] bit-identically (the tile scheduler's
+/// conformance contract).
+pub fn simulate_unit_shard(
+    workload: &HeadWorkload,
+    kind: SimUnitKind,
+    rows: std::ops::Range<usize>,
+) -> leopard_accel::sim::TileShardSim {
+    leopard_accel::sim::simulate_head_shard(workload, &kind.tile_config(), rows)
 }
 
 /// The four per-configuration simulation results for one head.
