@@ -404,6 +404,40 @@ impl TileShardSim {
                 .max(1)
         }
     }
+
+    /// How the shard's dot products left the bit-serial reveal window,
+    /// split by where the reveal loop stopped: pruned strictly before the
+    /// full magnitude width (the early-termination win), pruned only once
+    /// every magnitude bit was revealed, or surviving to the back-end.
+    /// The three classes partition `pruned_scores + surviving_scores`.
+    pub fn outcome_mix(&self) -> OutcomeMix {
+        let full_precision_pruned = self.pruned_bits_histogram.last().copied().unwrap_or(0);
+        OutcomeMix {
+            early_terminated: self.pruned_scores - full_precision_pruned,
+            full_precision_pruned,
+            surviving: self.surviving_scores,
+        }
+    }
+}
+
+/// Reveal-window outcome mix of a shard's dot products — see
+/// [`TileShardSim::outcome_mix`]. Exported as telemetry counters by the
+/// runtime so the pruning behaviour behind a speedup number is visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeMix {
+    /// Scores pruned before the full magnitude width was revealed.
+    pub early_terminated: u64,
+    /// Scores pruned only at the full magnitude width.
+    pub full_precision_pruned: u64,
+    /// Scores that survived the threshold and reached the back-end.
+    pub surviving: u64,
+}
+
+impl OutcomeMix {
+    /// Total scores across the three classes.
+    pub fn total(&self) -> u64 {
+        self.early_terminated + self.full_precision_pruned + self.surviving
+    }
 }
 
 /// Merges contiguous shard accountings into the **exact** single-tile
@@ -675,6 +709,28 @@ mod tests {
         let r12 = simulate_head(&w, &TileConfig::ae_leopard().with_n_qk(12));
         let r3 = simulate_head(&w, &TileConfig::ae_leopard().with_n_qk(3));
         assert!(r12.vpu_demand > r3.vpu_demand);
+    }
+
+    #[test]
+    fn outcome_mix_partitions_every_score() {
+        let w = workload(24, 32, 0.25, 9);
+        let shard = simulate_head_shard(&w, &TileConfig::ae_leopard(), 0..24);
+        let mix = shard.outcome_mix();
+        assert_eq!(mix.total(), (24 * 24) as u64);
+        assert_eq!(
+            mix.early_terminated + mix.full_precision_pruned,
+            shard.pruned_scores
+        );
+        assert_eq!(mix.surviving, shard.surviving_scores);
+        assert!(
+            mix.early_terminated > 0,
+            "threshold 0.25 should stop some reveals early"
+        );
+        // The pruning-only configuration cannot terminate early: every
+        // pruned score pays the full magnitude width.
+        let po = simulate_head_shard(&w, &TileConfig::pruning_only(), 0..24).outcome_mix();
+        assert_eq!(po.early_terminated, 0);
+        assert_eq!(po.full_precision_pruned + po.surviving, mix.total());
     }
 
     #[test]

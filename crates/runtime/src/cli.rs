@@ -20,10 +20,14 @@
 //! `--heads H`, `--tiles T` (partition each head across T tiles),
 //! `--quick` (every 4th task), `--full-scale`,
 //! `--schedule fifo|ljf` (suite and serve), `--json PATH` / `--csv PATH`
-//! for structured reports. `--full-scale` and `--max-seq-len` are mutually
-//! exclusive — the combination is rejected rather than letting whichever
-//! flag comes last win silently.
+//! for structured reports, and `--trace PATH` / `--metrics PATH` to enable
+//! the observe-only telemetry layer (a Chrome trace-event file for
+//! Perfetto and a metrics-registry snapshot; see [`crate::telemetry`]).
+//! `--full-scale` and `--max-seq-len` are mutually exclusive — the
+//! combination is rejected rather than letting whichever flag comes last
+//! win silently.
 
+use crate::cache::CacheStats;
 use crate::engine::{SuiteReport, SuiteRunner};
 use crate::pool::parallel_map;
 use crate::report::{
@@ -56,6 +60,18 @@ pub struct CommonOptions {
     pub json_path: Option<String>,
     /// Write a CSV report here.
     pub csv_path: Option<String>,
+    /// Write a Chrome trace-event JSON file here (`--trace`).
+    pub trace_path: Option<String>,
+    /// Write a metrics-registry snapshot as JSON here (`--metrics`).
+    pub metrics_path: Option<String>,
+}
+
+impl CommonOptions {
+    /// Whether any telemetry output was requested — the single switch that
+    /// turns the observe-only telemetry layer on.
+    pub fn wants_telemetry(&self) -> bool {
+        self.trace_path.is_some() || self.metrics_path.is_some()
+    }
 }
 
 /// The `leopard serve`-specific knobs.
@@ -180,6 +196,11 @@ FLAGS:
                       (shortest-predicted-job-first); suite and serve only
     --json PATH       write a JSON report
     --csv PATH        write a CSV report
+    --trace PATH      record spans and write a Chrome trace-event JSON file
+                      (open in Perfetto or chrome://tracing); suite, serve,
+                      and task only — reports stay byte-identical
+    --metrics PATH    write a counters/gauges/histograms snapshot as JSON;
+                      suite, serve, and task only
     --all-tasks       (sweep) use all 43 tasks, not the representative set
 
 SERVE FLAGS:
@@ -334,6 +355,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             "--json" => common.json_path = Some(take_value(&mut it, "--json")?),
             "--csv" => common.csv_path = Some(take_value(&mut it, "--csv")?),
+            "--trace" => common.trace_path = Some(take_value(&mut it, "--trace")?),
+            "--metrics" => common.metrics_path = Some(take_value(&mut it, "--metrics")?),
             "--param" => sweep = Some(parse_param(&take_value(&mut it, "--param")?)?),
             "--all-tasks" => all_tasks = true,
             "--requests" => {
@@ -467,6 +490,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .to_string(),
                 );
             }
+            if common.wants_telemetry() {
+                return Err(
+                    "`leopard sweep` does not record telemetry; --trace/--metrics apply to \
+                     `leopard suite`, `leopard serve`, and `leopard task`"
+                        .to_string(),
+                );
+            }
             Ok(Command::Sweep(
                 SweepSpec {
                     param,
@@ -480,6 +510,39 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown subcommand {other:?} (try `leopard help`)")),
     }
+}
+
+/// Builds the runner for a subcommand, enabling the telemetry layer when
+/// `--trace` or `--metrics` asked for it.
+fn build_runner(common: &CommonOptions) -> SuiteRunner {
+    let runner = SuiteRunner::new(common.threads);
+    if common.wants_telemetry() {
+        runner.with_telemetry()
+    } else {
+        runner
+    }
+}
+
+/// Writes the `--trace` / `--metrics` outputs from the runner's telemetry
+/// layer. A no-op when telemetry was never enabled.
+fn write_telemetry_outputs(runner: &SuiteRunner, common: &CommonOptions) -> Result<(), String> {
+    let Some(telemetry) = runner.telemetry() else {
+        return Ok(());
+    };
+    if let Some(path) = &common.trace_path {
+        std::fs::write(path, telemetry.chrome_trace_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote Chrome trace ({} events) to {path} — open in Perfetto or chrome://tracing",
+            telemetry.event_count()
+        );
+    }
+    if let Some(path) = &common.metrics_path {
+        std::fs::write(path, telemetry.metrics().snapshot().to_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
 }
 
 fn write_structured_reports(report: &SuiteReport, common: &CommonOptions) -> Result<(), String> {
@@ -496,18 +559,34 @@ fn write_structured_reports(report: &SuiteReport, common: &CommonOptions) -> Res
     Ok(())
 }
 
-fn print_timing(report: &SuiteReport) {
+/// The one end-of-run footer every subcommand prints: a command-specific
+/// lead-in, the workload-cache accounting with its hit rate, and an
+/// optional trailer. `suite`/`task` (via [`print_timing`]), `serve`, and
+/// `sweep` all route through here so the cache line renders identically
+/// everywhere.
+fn print_run_footer(lead: &str, stats: CacheStats, trail: &str) {
     println!(
-        "\n{} jobs on {} threads in {:.3}s wall (worker time: build {:.3}s, simulate {:.3}s, \
-         aggregate {:.3}s; workload cache: {} built, {} reused)",
-        report.jobs,
-        report.threads,
-        report.wall.as_secs_f64(),
-        report.stages.build.as_secs_f64(),
-        report.stages.simulate.as_secs_f64(),
-        report.stages.aggregate.as_secs_f64(),
-        report.cache.misses,
-        report.cache.hits,
+        "\n{lead} (workload cache: {} built, {} reused, {:.0}% hit rate){trail}",
+        stats.misses,
+        stats.hits,
+        stats.hit_ratio() * 100.0,
+    );
+}
+
+fn print_timing(report: &SuiteReport) {
+    print_run_footer(
+        &format!(
+            "{} jobs on {} threads in {:.3}s wall (worker time: build {:.3}s, simulate {:.3}s, \
+             aggregate {:.3}s)",
+            report.jobs,
+            report.threads,
+            report.wall.as_secs_f64(),
+            report.stages.build.as_secs_f64(),
+            report.stages.simulate.as_secs_f64(),
+            report.stages.aggregate.as_secs_f64(),
+        ),
+        report.cache,
+        "",
     );
 }
 
@@ -528,7 +607,7 @@ fn run_suite_command(common: &CommonOptions) -> Result<(), String> {
     } else {
         full_suite()
     };
-    let runner = SuiteRunner::new(common.threads);
+    let runner = build_runner(common);
     println!(
         "simulating {} tasks on {} threads, {} submission order (sequence lengths capped at {})...",
         tasks.len(),
@@ -541,7 +620,8 @@ fn run_suite_command(common: &CommonOptions) -> Result<(), String> {
     println!();
     print!("{}", suite_console_output(&report));
     print_timing(&report);
-    write_structured_reports(&report, common)
+    write_structured_reports(&report, common)?;
+    write_telemetry_outputs(&runner, common)
 }
 
 fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), String> {
@@ -558,7 +638,7 @@ fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), Str
         pipeline: common.pipeline,
         ..ServingOptions::default()
     };
-    let runner = SuiteRunner::new(common.threads);
+    let runner = build_runner(common);
     let slo = options
         .slo_cycles
         .map_or_else(|| "none".to_string(), |s| format!("{s} cycles"));
@@ -580,16 +660,17 @@ fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), Str
 
     println!();
     print!("{}", serving_summary(&report));
-    let stats = report.cache;
-    println!(
-        "\nexecuted in {:.3}s wall on {} threads (workload cache: {} built, {} reused) — \
-         cycle accounting is virtual and thread-count independent",
-        report.wall.as_secs_f64(),
-        report.threads,
-        stats.misses,
-        stats.hits,
+    print_run_footer(
+        &format!(
+            "executed in {:.3}s wall on {} threads",
+            report.wall.as_secs_f64(),
+            report.threads,
+        ),
+        report.cache,
+        " — cycle accounting is virtual and thread-count independent",
     );
-    write_serving_reports(&report, common)
+    write_serving_reports(&report, common)?;
+    write_telemetry_outputs(&runner, common)
 }
 
 fn write_serving_reports(report: &ServingReport, common: &CommonOptions) -> Result<(), String> {
@@ -648,7 +729,7 @@ fn run_task_command(name: &str, common: &CommonOptions) -> Result<(), String> {
     let suite = full_suite();
     let task = find_task(&suite, name)?;
 
-    let runner = SuiteRunner::new(common.threads);
+    let runner = build_runner(common);
     let report = runner.run(std::slice::from_ref(task), &common.pipeline);
     let r = &report.results[0];
 
@@ -709,7 +790,8 @@ fn run_task_command(name: &str, common: &CommonOptions) -> Result<(), String> {
         );
     }
     print_timing(&report);
-    write_structured_reports(&report, common)
+    write_structured_reports(&report, common)?;
+    write_telemetry_outputs(&runner, common)
 }
 
 /// Representative tasks spanning the pruning-rate range (the Figure 13
@@ -845,13 +927,14 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
             mean(|r| r.3) * 100.0,
         );
     }
-    let stats = runner.cache().stats();
-    println!(
-        "\nswept {} design points in {:.3}s (workload cache: {} built, {} reused)",
-        spec.values.len(),
-        start.elapsed().as_secs_f64(),
-        stats.misses,
-        stats.hits,
+    print_run_footer(
+        &format!(
+            "swept {} design points in {:.3}s",
+            spec.values.len(),
+            start.elapsed().as_secs_f64(),
+        ),
+        runner.cache().stats(),
+        "",
     );
     Ok(())
 }
@@ -1048,6 +1131,45 @@ mod tests {
         assert!(parse(&args(&["serve", "--mix", "memn2n=0,bert-b=1"])).is_ok());
         assert!(parse(&args(&["serve", "--slo-cycles", "1"])).is_ok());
         assert!(parse(&args(&["serve", "--rate", "0.5"])).is_ok());
+    }
+
+    #[test]
+    fn parses_telemetry_flags_on_suite_serve_and_task() {
+        match parse(&args(&["suite", "--trace", "/tmp/t.json"])).unwrap() {
+            Command::Suite(common) => {
+                assert_eq!(common.trace_path.as_deref(), Some("/tmp/t.json"));
+                assert!(common.metrics_path.is_none());
+                assert!(common.wants_telemetry());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args(&["serve", "--metrics", "/tmp/m.json"])).unwrap() {
+            Command::Serve(_, common) => {
+                assert_eq!(common.metrics_path.as_deref(), Some("/tmp/m.json"));
+                assert!(common.wants_telemetry());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args(&["task", "x", "--trace", "a", "--metrics", "b"])).unwrap() {
+            Command::Task(_, common) => {
+                assert!(common.wants_telemetry());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Without either flag, telemetry stays off.
+        match parse(&args(&["suite"])).unwrap() {
+            Command::Suite(common) => assert!(!common.wants_telemetry()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The sweep path never builds a SuiteRunner DAG, so the flags are
+        // rejected instead of silently ignored.
+        let err = parse(&args(&["sweep", "--param", "nqk=2..4", "--trace", "t"])).unwrap_err();
+        assert!(err.contains("does not record telemetry"), "{err}");
+        let err = parse(&args(&["sweep", "--param", "nqk=2..4", "--metrics", "m"])).unwrap_err();
+        assert!(err.contains("does not record telemetry"), "{err}");
+        // A missing value is an error, not a panic.
+        assert!(parse(&args(&["suite", "--trace"])).is_err());
+        assert!(parse(&args(&["suite", "--metrics"])).is_err());
     }
 
     #[test]

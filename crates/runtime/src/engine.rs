@@ -33,6 +33,7 @@
 use crate::cache::{CacheStats, WorkloadCache};
 use crate::pool::{default_threads, ThreadPool};
 use crate::sched::{submission_order, SchedulePolicy};
+use crate::telemetry::{MetricsSnapshot, Telemetry};
 use leopard_accel::schedule::{merge_head_shards, TilePartition};
 use leopard_accel::sim::TileShardSim;
 use leopard_workloads::pipeline::{
@@ -99,6 +100,11 @@ pub struct SuiteReport {
     pub cache: CacheStats,
     /// Admission policy the run's task submission followed.
     pub schedule: SchedulePolicy,
+    /// Metrics snapshot, present when the runner's telemetry layer is
+    /// enabled. Observe-only: the JSON/CSV report renderers never touch
+    /// it, so their output is byte-identical with telemetry on or off;
+    /// `--metrics` writes it to its own file.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Per-task bookkeeping shared by that task's jobs.
@@ -172,6 +178,7 @@ impl TaskState {
 pub struct SuiteRunner {
     pool: ThreadPool,
     cache: Arc<WorkloadCache>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl SuiteRunner {
@@ -186,7 +193,23 @@ impl SuiteRunner {
         Self {
             pool: ThreadPool::new(threads),
             cache: Arc::new(WorkloadCache::new()),
+            telemetry: None,
         }
+    }
+
+    /// Enables the observe-only telemetry layer: per-worker span buffers
+    /// (plus one slot for external threads) and a metrics registry.
+    /// Results and reports stay byte-identical with telemetry on or off;
+    /// when disabled the per-job overhead is a branch on an `Option`.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = Some(Arc::new(Telemetry::new(self.pool.threads())));
+        self
+    }
+
+    /// The telemetry layer, when enabled via
+    /// [`with_telemetry`](Self::with_telemetry).
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Number of worker threads.
@@ -265,6 +288,15 @@ impl SuiteRunner {
             results[task_index] = Some(result);
         }
 
+        if let Some(telemetry) = &self.telemetry {
+            let metrics = telemetry.metrics();
+            metrics.incr("suite.runs", 1);
+            metrics.set_gauge("pool.steals", self.pool.steal_count() as f64);
+            let stats = self.cache.stats();
+            metrics.set_gauge("cache.hits", stats.hits as f64);
+            metrics.set_gauge("cache.misses", stats.misses as f64);
+        }
+
         SuiteReport {
             results: results
                 .into_iter()
@@ -276,6 +308,7 @@ impl SuiteRunner {
             jobs: jobs.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             schedule: policy,
+            metrics: self.telemetry.as_ref().map(|t| t.metrics().snapshot()),
         }
     }
 
@@ -292,11 +325,21 @@ impl SuiteRunner {
     ) {
         let spawner = self.pool.spawner();
         let cache = Arc::clone(&self.cache);
+        let telemetry = self.telemetry.clone();
         self.pool.spawn(move || {
             jobs.fetch_add(1, Ordering::Relaxed);
             let build_start = Instant::now();
             let workload = cache.head_workload(&state.task, &options, head);
             StageClocks::charge(&clocks.build_ns, build_start);
+            if let Some(t) = &telemetry {
+                t.record_wall_span(
+                    "build",
+                    state.task.name.clone(),
+                    build_start,
+                    vec![("task", state.task.id as u64), ("head", head as u64)],
+                );
+                t.metrics().incr("suite.jobs.build", 1);
+            }
 
             // Sub-DAG fan-out: one shard job per (unit kind, tile). The
             // partition is a pure function of the workload's sequence
@@ -311,11 +354,39 @@ impl SuiteRunner {
                     let clocks = Arc::clone(&clocks);
                     let jobs = Arc::clone(&jobs);
                     let rows = partition.range(tile);
+                    let telemetry = telemetry.clone();
                     spawner.spawn(move || {
                         jobs.fetch_add(1, Ordering::Relaxed);
                         let sim_start = Instant::now();
                         let shard = simulate_unit_shard(&workload, kind, rows);
                         StageClocks::charge(&clocks.simulate_ns, sim_start);
+                        if let Some(t) = &telemetry {
+                            t.record_wall_span(
+                                "sim",
+                                state.task.name.clone(),
+                                sim_start,
+                                vec![
+                                    ("task", state.task.id as u64),
+                                    ("head", head as u64),
+                                    ("unit", kind.index() as u64),
+                                    ("tile", tile as u64),
+                                ],
+                            );
+                            let metrics = t.metrics();
+                            metrics.incr("suite.jobs.sim", 1);
+                            metrics.incr(
+                                &format!("suite.tile{tile:02}.busy_cycles"),
+                                shard.standalone_cycles(),
+                            );
+                            let mix = shard.outcome_mix();
+                            metrics.incr("kernel.outcomes.early_terminated", mix.early_terminated);
+                            metrics.incr(
+                                "kernel.outcomes.full_precision_pruned",
+                                mix.full_precision_pruned,
+                            );
+                            metrics.incr("kernel.outcomes.surviving", mix.surviving);
+                            metrics.merge_indexed("kernel.bits_processed", &shard.bits_histogram);
+                        }
 
                         *state.slots[state.slot_index(head, kind, tile)]
                             .lock()
@@ -329,6 +400,15 @@ impl SuiteRunner {
                             let heads = state.assemble_heads();
                             let result = aggregate_task(&state.task, &options, &heads);
                             StageClocks::charge(&clocks.aggregate_ns, agg_start);
+                            if let Some(t) = &telemetry {
+                                t.record_wall_span(
+                                    "aggregate",
+                                    state.task.name.clone(),
+                                    agg_start,
+                                    vec![("task", state.task.id as u64)],
+                                );
+                                t.metrics().incr("suite.jobs.aggregate", 1);
+                            }
                             // The receiver only disappears if the caller
                             // panicked; dropping the result is then fine.
                             let _ = tx.send((task_index, result));
@@ -462,6 +542,34 @@ mod tests {
         let report = runner.run(&tasks, &options);
         assert_eq!(report.cache.misses, 2, "one build per head");
         assert_eq!(report.cache.hits, 0);
+    }
+
+    #[test]
+    fn telemetry_is_observe_only_and_counts_jobs() {
+        let tasks: Vec<_> = full_suite().into_iter().take(3).collect();
+        let options = PipelineOptions {
+            tiles: 2,
+            ..quick()
+        };
+        let plain = SuiteRunner::new(2).run(&tasks, &options);
+        assert!(plain.metrics.is_none());
+        let runner = SuiteRunner::new(2).with_telemetry();
+        let traced = runner.run(&tasks, &options);
+        assert_eq!(plain.results, traced.results, "telemetry must observe only");
+        assert_eq!(plain.jobs, traced.jobs);
+        let metrics = traced.metrics.expect("telemetry enabled");
+        assert_eq!(metrics.counter("suite.jobs.build"), Some(3));
+        assert_eq!(metrics.counter("suite.jobs.sim"), Some(3 * 4 * 2));
+        assert_eq!(metrics.counter("suite.jobs.aggregate"), Some(3));
+        let outcomes = metrics.counter("kernel.outcomes.early_terminated").unwrap()
+            + metrics
+                .counter("kernel.outcomes.full_precision_pruned")
+                .unwrap()
+            + metrics.counter("kernel.outcomes.surviving").unwrap();
+        assert!(outcomes > 0, "outcome mix populated");
+        // One wall span per job.
+        let telemetry = runner.telemetry().expect("enabled");
+        assert_eq!(telemetry.event_count(), traced.jobs);
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //!   shedding and p50/p95/p99/max latency, throughput, shed-rate,
 //!   goodput, and queue-depth reporting. Per-request accounting is
 //!   bit-identical for any thread count.
+//! * [`telemetry`] — the observe-only instrumentation layer: span tracing
+//!   into per-worker buffers exported as Chrome trace-event JSON
+//!   (Perfetto/`chrome://tracing`), plus a [`MetricsRegistry`] of
+//!   counters, gauges, and fixed-bucket histograms. Enabled per run via
+//!   `SuiteRunner::with_telemetry` (`--trace`/`--metrics` on the CLI);
+//!   results and reports are byte-identical with it on or off.
 //! * [`report`] — structured JSON/CSV rendering of suite and serving
 //!   reports with timing and cache statistics.
 //! * [`cli`] — the `leopard` binary: `leopard suite`, `leopard task
@@ -66,9 +72,11 @@ pub mod pool;
 pub mod report;
 pub mod sched;
 pub mod serving;
+pub mod telemetry;
 
 pub use cache::{CacheStats, WorkloadCache};
 pub use engine::{run_suite_parallel, SuiteReport, SuiteRunner};
 pub use pool::{parallel_map, ThreadPool};
 pub use sched::SchedulePolicy;
 pub use serving::{run_serving, ArrivalProcess, RequestMix, ServingOptions, ServingReport};
+pub use telemetry::{MetricsRegistry, MetricsSnapshot, Telemetry};

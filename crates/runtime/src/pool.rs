@@ -16,7 +16,7 @@
 //! scheduler small and obviously correct.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -33,6 +33,9 @@ struct Shared {
     queued: AtomicUsize,
     /// Set when the pool is shutting down.
     shutdown: AtomicBool,
+    /// Jobs taken from a sibling's deque rather than the owner's own queue
+    /// or the injector — the load-imbalance signal telemetry reports.
+    steals: AtomicU64,
     /// Sleep/wake coordination for idle workers.
     sleep: Mutex<()>,
     wake: Condvar,
@@ -104,6 +107,7 @@ impl Shared {
                 .pop_front()
             {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -192,6 +196,7 @@ impl ThreadPool {
             injector: Mutex::new(VecDeque::new()),
             queued: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
             sleep: Mutex::new(()),
             wake: Condvar::new(),
         });
@@ -227,6 +232,20 @@ impl ThreadPool {
     pub fn spawn<F: FnOnce() + Send + 'static>(&self, job: F) {
         self.shared.push(Box::new(job));
     }
+
+    /// Number of jobs workers have stolen from a sibling's deque since the
+    /// pool started. Scheduling-dependent, so the value varies run to run;
+    /// it is exported as a telemetry gauge, never into pinned reports.
+    pub fn steal_count(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// The calling thread's worker index within its pool, or `None` when called
+/// from any thread that is not a pool worker. Telemetry uses this to route
+/// span records to the per-worker buffer (and as the trace track id).
+pub fn current_worker_index() -> Option<usize> {
+    CURRENT_WORKER.with(|c| c.get().map(|(_, index)| index))
 }
 
 impl Drop for ThreadPool {
@@ -378,6 +397,19 @@ mod tests {
                 .expect("worker survived"),
             42
         );
+    }
+
+    #[test]
+    fn current_worker_index_is_visible_inside_jobs_only() {
+        assert_eq!(current_worker_index(), None);
+        let pool = ThreadPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(current_worker_index()).unwrap());
+        let seen = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("job completed");
+        assert!(matches!(seen, Some(index) if index < 2), "{seen:?}");
+        assert_eq!(pool.steal_count(), pool.steal_count()); // monotone read works
     }
 
     #[test]

@@ -348,9 +348,11 @@ pub fn serving_report_json(report: &ServingReport) -> String {
 }
 
 /// Renders the serving console summary: one percentile row per statistic,
-/// then throughput, queue depth, and — when an SLO was set — shed rate and
-/// goodput. A run that admitted nothing renders a "no requests served"
-/// line (plus the shed accounting when everything was shed by the SLO).
+/// then throughput, queue depth (max, per-dispatch mean, and time-weighted
+/// mean), the per-tile utilization grid with its fragmentation line, and —
+/// when an SLO was set — shed rate and goodput. A run that admitted
+/// nothing renders a "no requests served" line (plus the shed accounting
+/// when everything was shed by the SLO).
 pub fn serving_summary(report: &ServingReport) -> String {
     let mut out = String::new();
     if report.records.is_empty() {
@@ -409,10 +411,28 @@ pub fn serving_summary(report: &ServingReport) -> String {
     }
     let _ = writeln!(
         out,
-        "queue depth: max {}, mean {:.1}",
+        "queue depth: max {}, mean {:.1} (per dispatch), {:.1} (time-weighted)",
         report.max_queue_depth(),
         report.mean_queue_depth(),
+        report.time_weighted_mean_queue_depth(),
     );
+    if report.makespan_cycles() > 0 && !report.tile_busy_cycles.is_empty() {
+        let utilization = report.tile_utilization();
+        out.push_str("tile utilization over the makespan:");
+        for (tile, u) in utilization.iter().enumerate() {
+            if tile % 8 == 0 {
+                out.push_str("\n ");
+            }
+            let _ = write!(out, " tile{tile:02} {:>5.1}%", u * 100.0);
+        }
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "mean tile utilization {:.1}%, fragmentation {:.1}%",
+            report.mean_tile_utilization() * 100.0,
+            report.tile_fragmentation() * 100.0,
+        );
+    }
     out
 }
 
@@ -585,7 +605,18 @@ mod tests {
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let summary = serving_summary(&report);
-        for needle in ["p50", "p95", "p99", "max", "throughput", "queue depth"] {
+        for needle in [
+            "p50",
+            "p95",
+            "p99",
+            "max",
+            "throughput",
+            "queue depth",
+            "time-weighted",
+            "tile00",
+            "mean tile utilization",
+            "fragmentation",
+        ] {
             assert!(summary.contains(needle), "missing {needle} in:\n{summary}");
         }
     }

@@ -133,6 +133,10 @@ pub struct ReadyQueue {
     fifo: VecDeque<PredictedJob>,
     ljf: BinaryHeap<LjfEntry>,
     sjf: BinaryHeap<SjfEntry>,
+    /// Jobs ever admitted (monotone; survives pops).
+    pushes: u64,
+    /// Deepest the queue has ever been.
+    peak: usize,
 }
 
 impl ReadyQueue {
@@ -143,6 +147,8 @@ impl ReadyQueue {
             fifo: VecDeque::new(),
             ljf: BinaryHeap::new(),
             sjf: BinaryHeap::new(),
+            pushes: 0,
+            peak: 0,
         }
     }
 
@@ -158,6 +164,8 @@ impl ReadyQueue {
             SchedulePolicy::Ljf => self.ljf.push(LjfEntry(job)),
             SchedulePolicy::Sjf => self.sjf.push(SjfEntry(job)),
         }
+        self.pushes += 1;
+        self.peak = self.peak.max(self.len());
     }
 
     /// Removes and returns the next job under the policy, if any.
@@ -181,6 +189,17 @@ impl ReadyQueue {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Cumulative number of jobs ever admitted (a telemetry counter; the
+    /// value is deterministic for a given replay).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Deepest the queue has ever been across its lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -223,6 +242,9 @@ mod tests {
         assert_eq!(q.len(), 3);
         assert_eq!(drain(&mut q), vec![0, 1, 2]);
         assert!(q.is_empty());
+        // Lifetime statistics survive the drain.
+        assert_eq!(q.pushes(), 3);
+        assert_eq!(q.peak_len(), 3);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::cache::CacheStats;
 use crate::engine::SuiteRunner;
 use crate::pool::parallel_map;
 use crate::sched::{PredictedJob, ReadyQueue, SchedulePolicy};
+use crate::telemetry::MetricsSnapshot;
 use leopard_accel::config::TileConfig;
 use leopard_accel::schedule::simulate_head_tiled;
 use leopard_tensor::rng;
@@ -403,6 +404,27 @@ pub struct QueueSample {
     pub depth: usize,
 }
 
+/// One point of the replay's virtual-clock time-series, taken at every
+/// settled clock instant where the `(queue depth, in-flight)` pair changed.
+/// Fully deterministic: a pure function of the serving options, never of
+/// thread count or wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySample {
+    /// Virtual cycle the sample was taken at.
+    pub cycle: u64,
+    /// Requests waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Tiles busy executing a request at this instant.
+    pub in_flight: usize,
+}
+
+/// Bucket upper bounds (inclusive, in cycles) of the telemetry latency
+/// histogram `serve.latency_cycles` — fixed so histograms from different
+/// runs and policies are directly comparable.
+pub const LATENCY_HISTOGRAM_BOUNDS: [u64; 8] = [
+    1_000, 4_000, 16_000, 64_000, 256_000, 1_048_576, 4_194_304, 16_777_216,
+];
+
 /// Latency percentiles in microseconds at the tile clock.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LatencySummary {
@@ -488,10 +510,25 @@ pub struct ServingReport {
     pub shed: Vec<ShedRecord>,
     /// Queue depth over virtual time, one sample per dispatch.
     pub queue_samples: Vec<QueueSample>,
+    /// Virtual-clock time-series of queue depth and in-flight requests,
+    /// one sample per settled clock instant where either changed.
+    pub series: Vec<ReplaySample>,
+    /// Σ service cycles dispatched to each tile, indexed by tile.
+    pub tile_busy_cycles: Vec<u64>,
+    /// ∫ queue-depth d(cycles) over the replay — the numerator of
+    /// [`time_weighted_mean_queue_depth`](Self::time_weighted_mean_queue_depth).
+    pub depth_cycle_integral: u128,
+    /// Virtual cycles from 0 to the last replay event (the makespan, or
+    /// the final shed/admission instant when nothing was served).
+    pub observed_cycles: u64,
     /// Real wall-clock time of the run (execution + replay).
     pub wall: Duration,
     /// Workload-cache counters after the run.
     pub cache: CacheStats,
+    /// Metrics snapshot, present when the runner's telemetry layer is
+    /// enabled. Observe-only: never rendered into the pinned JSON/CSV
+    /// report output; `--metrics` writes it to its own file.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl ServingReport {
@@ -545,13 +582,64 @@ impl ServingReport {
             .unwrap_or(0)
     }
 
-    /// Mean queue depth over dispatch instants.
+    /// Mean queue depth over dispatch instants. Weights every dispatch
+    /// equally regardless of how long the queue sat at that depth — see
+    /// [`time_weighted_mean_queue_depth`](Self::time_weighted_mean_queue_depth)
+    /// for the duration-weighted view.
     pub fn mean_queue_depth(&self) -> f64 {
         if self.queue_samples.is_empty() {
             return 0.0;
         }
         self.queue_samples.iter().map(|s| s.depth).sum::<usize>() as f64
             / self.queue_samples.len() as f64
+    }
+
+    /// Time-weighted mean queue depth: ∫ depth d(cycles) over the observed
+    /// span, divided by that span. Unlike the per-dispatch mean this
+    /// weighs a deep queue that *stays* deep accordingly, so it is the
+    /// number to compare against queueing-theory expectations. Zero when
+    /// the replay observed no cycles.
+    pub fn time_weighted_mean_queue_depth(&self) -> f64 {
+        if self.observed_cycles == 0 {
+            return 0.0;
+        }
+        self.depth_cycle_integral as f64 / self.observed_cycles as f64
+    }
+
+    /// Per-tile utilization: the fraction of the makespan each tile spent
+    /// executing requests, in tile order. Empty when nothing was served.
+    pub fn tile_utilization(&self) -> Vec<f64> {
+        let makespan = self.makespan_cycles();
+        if makespan == 0 {
+            return vec![0.0; self.tile_busy_cycles.len()];
+        }
+        self.tile_busy_cycles
+            .iter()
+            .map(|&busy| busy as f64 / makespan as f64)
+            .collect()
+    }
+
+    /// Mean of [`tile_utilization`](Self::tile_utilization) (0 with no
+    /// tiles).
+    pub fn mean_tile_utilization(&self) -> f64 {
+        let utilization = self.tile_utilization();
+        if utilization.is_empty() {
+            return 0.0;
+        }
+        utilization.iter().sum::<f64>() / utilization.len() as f64
+    }
+
+    /// Load fragmentation across tiles: `1 - mean(busy) / peak(busy)`.
+    /// Zero when every tile carries the same load (or nothing ran at
+    /// all); approaches 1 when a single tile does all the work.
+    pub fn tile_fragmentation(&self) -> f64 {
+        let peak = self.tile_busy_cycles.iter().copied().max().unwrap_or(0);
+        if peak == 0 {
+            return 0.0;
+        }
+        let mean =
+            self.tile_busy_cycles.iter().sum::<u64>() as f64 / self.tile_busy_cycles.len() as f64;
+        1.0 - mean / peak as f64
     }
 
     /// Requests the stream offered: admitted plus shed.
@@ -763,13 +851,26 @@ pub fn run_serving(
     let config = options.config;
     let tiles = pipeline.tiles.max(1);
     let tasks: Vec<TaskDescriptor> = used.iter().map(|&i| suite[i].clone()).collect();
+    let telemetry = runner.telemetry().cloned();
+    let execute_telemetry = telemetry.clone();
     let service: Vec<u64> = parallel_map(runner.pool(), tasks, move |_, task| {
-        (0..pipeline.heads.max(1))
+        let execute_start = Instant::now();
+        let cycles: u64 = (0..pipeline.heads.max(1))
             .map(|head| {
                 let workload = cache.head_workload(task, &pipeline, head);
                 simulate_head_tiled(&workload, &config, tiles).makespan_cycles()
             })
-            .sum()
+            .sum();
+        if let Some(t) = &execute_telemetry {
+            t.record_wall_span(
+                "execute",
+                task.name.clone(),
+                execute_start,
+                vec![("task", task.id as u64)],
+            );
+            t.metrics().incr("serve.tasks.executed", 1);
+        }
+        cycles
     });
     let service_of = |task_index: usize| -> u64 {
         service[used.binary_search(&task_index).expect("task was executed")]
@@ -799,6 +900,14 @@ pub fn run_serving(
     let mut records: Vec<Option<RequestRecord>> = vec![None; requests.len()];
     let mut shed: Vec<ShedRecord> = Vec::new();
     let mut queue_samples = Vec::with_capacity(requests.len());
+    // Observability state, all on the virtual clock (deterministic). The
+    // depth integral advances lazily: before every queue mutation, the
+    // depth that held since `depth_last_cycle` is charged for the elapsed
+    // cycles.
+    let mut tile_busy_cycles = vec![0u64; options.servers];
+    let mut depth_cycle_integral: u128 = 0;
+    let mut depth_last_cycle = 0u64;
+    let mut series: Vec<ReplaySample> = Vec::new();
 
     // Event loop on a monotone virtual clock. At each clock value: dispatch
     // ready requests onto every tile already free (ties toward the lower
@@ -824,6 +933,8 @@ pub fn run_serving(
             if free_at > clock {
                 break;
             }
+            depth_cycle_integral += u128::from(clock - depth_last_cycle) * ready.len() as u128;
+            depth_last_cycle = clock;
             let job = ready.pop().expect("queue checked non-empty");
             let request = requests[job.index];
             let task = &suite[request.task_index];
@@ -838,12 +949,43 @@ pub fn run_serving(
                         shed_cycle: clock,
                         predicted_cycles: job.predicted_cycles,
                     });
+                    if let Some(t) = &telemetry {
+                        // Sheds render as instants on the lane past the
+                        // last tile — they never occupied one.
+                        t.record_instant(
+                            "shed",
+                            task.name.clone(),
+                            options.servers as u64,
+                            clock,
+                            vec![
+                                ("id", request.id as u64),
+                                ("predicted", job.predicted_cycles),
+                            ],
+                        );
+                        t.metrics().incr("serve.shed.predicted_slo_miss", 1);
+                    }
                     continue;
                 }
             }
             let service_cycles = service_of(request.task_index);
             let finish = clock + service_cycles;
             tile_free_at[tile] = finish;
+            tile_busy_cycles[tile] += service_cycles;
+            if let Some(t) = &telemetry {
+                t.record_virtual_span(
+                    "dispatch",
+                    task.name.clone(),
+                    tile as u64,
+                    clock,
+                    service_cycles,
+                    vec![
+                        ("id", request.id as u64),
+                        ("task", task.id as u64),
+                        ("wait", clock - request.arrival_cycle),
+                        ("predicted", job.predicted_cycles),
+                    ],
+                );
+            }
             queue_samples.push(QueueSample {
                 cycle: clock,
                 depth: ready.len(),
@@ -858,6 +1000,22 @@ pub fn run_serving(
                 predicted_cycles: job.predicted_cycles,
                 service_cycles,
             });
+        }
+        // Time-series sample at the settled instant (each clock value
+        // settles exactly once: the clock strictly advances per outer
+        // iteration).
+        let queue_depth = ready.len();
+        let in_flight = tile_free_at.iter().filter(|&&free| free > clock).count();
+        if series.last().map(|s| (s.queue_depth, s.in_flight)) != Some((queue_depth, in_flight)) {
+            series.push(ReplaySample {
+                cycle: clock,
+                queue_depth,
+                in_flight,
+            });
+            if let Some(t) = &telemetry {
+                t.record_counter("queue_depth", clock, queue_depth as u64);
+                t.record_counter("in_flight", clock, in_flight as u64);
+            }
         }
         // Advance to the next event.
         let next_free = tile_free_at
@@ -875,6 +1033,8 @@ pub fn run_serving(
             (false, true) => break,
         };
         clock = clock.max(admit_until);
+        depth_cycle_integral += u128::from(clock - depth_last_cycle) * ready.len() as u128;
+        depth_last_cycle = clock;
         while next_arrival < requests.len() && requests[next_arrival].arrival_cycle <= clock {
             let request = requests[next_arrival];
             ready.push(PredictedJob {
@@ -882,6 +1042,37 @@ pub fn run_serving(
                 predicted_cycles: predicted[request.id],
             });
             next_arrival += 1;
+        }
+    }
+
+    // Shed requests leave a hole; admitted records keep arrival order.
+    let records: Vec<RequestRecord> = records.into_iter().flatten().collect();
+    let observed_cycles = records
+        .iter()
+        .map(|r| r.finish_cycle)
+        .max()
+        .unwrap_or(0)
+        .max(clock);
+
+    if let Some(t) = &telemetry {
+        let metrics = t.metrics();
+        metrics.incr(
+            "serve.requests.offered",
+            (records.len() + shed.len()) as u64,
+        );
+        metrics.incr("serve.requests.admitted", records.len() as u64);
+        metrics.incr("serve.requests.shed", shed.len() as u64);
+        metrics.set_gauge("serve.queue.peak", ready.peak_len() as f64);
+        metrics.set_gauge("serve.queue.pushes", ready.pushes() as f64);
+        for (tile, &busy) in tile_busy_cycles.iter().enumerate() {
+            metrics.set_gauge(&format!("serve.tile{tile:02}.busy_cycles"), busy as f64);
+        }
+        for record in &records {
+            metrics.observe(
+                "serve.latency_cycles",
+                &LATENCY_HISTOGRAM_BOUNDS,
+                record.latency_cycles(),
+            );
         }
     }
 
@@ -894,12 +1085,16 @@ pub fn run_serving(
         threads: runner.threads(),
         tiles,
         frequency_mhz: options.config.frequency_mhz,
-        // Shed requests leave a hole; admitted records keep arrival order.
-        records: records.into_iter().flatten().collect(),
+        records,
         shed,
         queue_samples,
+        series,
+        tile_busy_cycles,
+        depth_cycle_integral,
+        observed_cycles,
         wall: start.elapsed(),
         cache: runner.cache().stats(),
+        metrics: telemetry.as_ref().map(|t| t.metrics().snapshot()),
     }
 }
 
@@ -1268,6 +1463,67 @@ mod tests {
         assert_eq!(report.latency(), LatencySummary::default());
         assert_eq!(report.throughput_rps(), 0.0);
         assert_eq!(report.max_queue_depth(), 0);
+    }
+
+    #[test]
+    fn utilization_series_and_depth_integral_are_consistent() {
+        let suite: Vec<_> = full_suite().into_iter().take(6).collect();
+        let runner = SuiteRunner::new(2);
+        let report = run_serving(&runner, &suite, &quick_options());
+        // Conservation: per-tile busy cycles sum to total service cycles.
+        let total_service: u64 = report.records.iter().map(|r| r.service_cycles).sum();
+        assert_eq!(report.tile_busy_cycles.iter().sum::<u64>(), total_service);
+        assert_eq!(report.tile_busy_cycles.len(), report.servers);
+        for utilization in report.tile_utilization() {
+            assert!((0.0..=1.0).contains(&utilization));
+        }
+        assert!((0.0..1.0).contains(&report.tile_fragmentation()));
+        assert!(report.mean_tile_utilization() > 0.0);
+        // The time-series advances strictly in virtual time and never sees
+        // more in-flight requests than tiles.
+        for pair in report.series.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle);
+        }
+        assert!(report.series.iter().all(|s| s.in_flight <= report.servers));
+        assert!(!report.series.is_empty());
+        // The default regime is backlogged, so the queue holds real depth
+        // over real time.
+        assert!(report.observed_cycles >= report.makespan_cycles());
+        let time_weighted = report.time_weighted_mean_queue_depth();
+        assert!(time_weighted > 0.0);
+        assert!(time_weighted < report.offered() as f64);
+    }
+
+    #[test]
+    fn observability_fields_are_thread_count_independent() {
+        let suite: Vec<_> = full_suite().into_iter().take(6).collect();
+        let one = run_serving(&SuiteRunner::new(1), &suite, &quick_options());
+        let four = run_serving(&SuiteRunner::new(4), &suite, &quick_options());
+        assert_eq!(one.series, four.series);
+        assert_eq!(one.tile_busy_cycles, four.tile_busy_cycles);
+        assert_eq!(one.depth_cycle_integral, four.depth_cycle_integral);
+        assert_eq!(one.observed_cycles, four.observed_cycles);
+    }
+
+    #[test]
+    fn serving_telemetry_is_observe_only() {
+        let suite: Vec<_> = full_suite().into_iter().take(4).collect();
+        let plain = run_serving(&SuiteRunner::new(2), &suite, &quick_options());
+        assert!(plain.metrics.is_none());
+        let runner = SuiteRunner::new(2).with_telemetry();
+        let traced = run_serving(&runner, &suite, &quick_options());
+        assert_eq!(plain.records, traced.records);
+        assert_eq!(plain.series, traced.series);
+        assert_eq!(plain.tile_busy_cycles, traced.tile_busy_cycles);
+        let metrics = traced.metrics.expect("telemetry enabled");
+        assert_eq!(
+            metrics.counter("serve.requests.admitted"),
+            Some(traced.records.len() as u64)
+        );
+        assert_eq!(
+            metrics.histogram("serve.latency_cycles").map(|h| h.total),
+            Some(traced.records.len() as u64)
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Serving-mode scenario comparison: replay the same deterministic request
 //! stream under every arrival process (steady / bursty / diurnal) and every
 //! admission policy (FIFO / LJF / SJF), plus one SLO-constrained run, and
-//! print the latency percentiles side by side.
+//! print the latency percentiles side by side — along with the
+//! time-weighted queue depth, mean tile utilization, and fragmentation,
+//! so policies can be compared on utilization as well as tail latency.
 //!
 //! Run with:
 //!
@@ -37,8 +39,17 @@ fn main() {
     );
 
     println!(
-        "\n{:<10} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "arrivals", "schedule", "p50 us", "p95 us", "p99 us", "max us", "max queue"
+        "\n{:<10} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "arrivals",
+        "schedule",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "max us",
+        "max queue",
+        "tw depth",
+        "util",
+        "frag"
     );
     let mut fifo_reference = None;
     for arrivals in ArrivalProcess::ALL {
@@ -54,14 +65,17 @@ fn main() {
             );
             let latency = report.latency();
             println!(
-                "{:<10} {:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10}",
+                "{:<10} {:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10} {:>9.1} {:>8.1}% {:>7.1}%",
                 arrivals.label(),
                 policy.label(),
                 latency.p50_us,
                 latency.p95_us,
                 latency.p99_us,
                 latency.max_us,
-                report.max_queue_depth()
+                report.max_queue_depth(),
+                report.time_weighted_mean_queue_depth(),
+                report.mean_tile_utilization() * 100.0,
+                report.tile_fragmentation() * 100.0,
             );
             if arrivals == ArrivalProcess::Steady && policy == SchedulePolicy::Fifo {
                 fifo_reference = Some(latency);

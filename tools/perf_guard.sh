@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Perf-regression guard for the two committed benchmark trajectories.
+#
+# Reruns the kernel micro-benchmark (`kernel_bench`, wall-clock speedup of
+# the incremental bit-plane QK kernel over the reference DPU) and the tile
+# scaling ablation (`tile_scaling`, virtual-cycle makespan speedup at 8
+# tiles), then fails if either speedup lands below 85% of the value
+# committed in BENCH_qk_kernel.json / BENCH_tiles.json. On success the new
+# points are appended to BENCH_trajectory.jsonl so the trajectory
+# accumulates run over run instead of living only in git history.
+#
+# The committed baselines are read BEFORE the examples run, because both
+# examples rewrite their BENCH file in place.
+#
+# Usage: bash tools/perf_guard.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Last "speedup" value in a BENCH json (the largest design point).
+speedup_of() {
+  grep -o '"speedup": *[0-9.]*' "$1" | tail -n 1 | sed 's/[^0-9.]*//g'
+}
+
+base_kernel=$(speedup_of BENCH_qk_kernel.json)
+base_tiles=$(speedup_of BENCH_tiles.json)
+echo "committed baselines: kernel ${base_kernel}x, 8-tile makespan ${base_tiles}x"
+
+cargo run --release --example kernel_bench
+cargo run --release --example tile_scaling
+
+new_kernel=$(speedup_of BENCH_qk_kernel.json)
+new_tiles=$(speedup_of BENCH_tiles.json)
+
+# check NAME BASE NEW — fails when NEW < 0.85 * BASE.
+check() {
+  awk -v name="$1" -v base="$2" -v fresh="$3" 'BEGIN {
+    floor = 0.85 * base
+    if (fresh < floor) {
+      printf "PERF REGRESSION: %s speedup %.3f fell below 85%% of committed %.3f (floor %.3f)\n",
+        name, fresh, base, floor
+      exit 1
+    }
+    printf "%s speedup %.3f vs committed %.3f (floor %.3f) — ok\n", name, fresh, base, floor
+  }'
+}
+
+check "kernel_bench" "$base_kernel" "$new_kernel"
+check "tile_scaling (8 tiles)" "$base_tiles" "$new_tiles"
+
+recorded=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+{
+  printf '{"bench": "kernel_bench", "speedup": %s, "baseline": %s, "recorded": "%s"}\n' \
+    "$new_kernel" "$base_kernel" "$recorded"
+  printf '{"bench": "tile_scaling_8", "speedup": %s, "baseline": %s, "recorded": "%s"}\n' \
+    "$new_tiles" "$base_tiles" "$recorded"
+} >> BENCH_trajectory.jsonl
+echo "appended 2 points to BENCH_trajectory.jsonl"
