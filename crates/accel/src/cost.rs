@@ -184,7 +184,7 @@ impl CostModel {
                         histogram: Vec::new(),
                         observations: Vec::new(),
                     });
-                    pools.last_mut().expect("just pushed")
+                    pools.last_mut().expect("just pushed") // lint:allow(panic-in-library, reason = "the entry was pushed on the line above; last_mut cannot be None")
                 }
             };
             let profile = &observation.result.pruned_bits_histogram;

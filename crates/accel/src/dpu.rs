@@ -48,6 +48,7 @@ impl QkDpu {
     pub fn new(config: TileConfig) -> Self {
         config
             .validate()
+            // lint:allow(panic-in-library, reason = "constructor contract documented under # Panics; configs are validated at parse time and invalid ones here are programmer errors")
             .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
         Self { config }
     }

@@ -81,6 +81,7 @@ impl QkKernel {
     pub fn new(config: TileConfig) -> Self {
         config
             .validate()
+            // lint:allow(panic-in-library, reason = "constructor contract documented under # Panics; configs are validated at parse time and invalid ones here are programmer errors")
             .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
         let plan = config.bit_serial_plan();
         let parallel = config.serial_bits >= config.k_bits;

@@ -599,7 +599,7 @@ fn accumulate_rows(
                 shard.events.fifo_pushes += 1;
             }
         }
-        let row_frontend_cycles = *dpu_cycles.iter().max().expect("at least one DPU");
+        let row_frontend_cycles = *dpu_cycles.iter().max().expect("at least one DPU"); // lint:allow(panic-in-library, reason = "TileConfig validation guarantees at least one DPU lane")
         let row_backend_cycles = row_survivors * BACKEND_CYCLES_PER_SCORE;
 
         // --- Timing: the front-end of this row overlaps the back-end of

@@ -191,7 +191,7 @@ impl Adam {
                     .map(|(mh, vh)| self.learning_rate * mh / (vh.sqrt() + self.epsilon))
                     .collect(),
             )
-            .expect("shapes agree by construction");
+            .expect("shapes agree by construction"); // lint:allow(panic-in-library, reason = "m_hat and v_hat are built from the same parameter shape two lines up")
             **param = &**param - &update;
         }
     }

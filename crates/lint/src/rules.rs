@@ -1,0 +1,444 @@
+//! The rule catalog: each workspace contract encoded as a named lint.
+//!
+//! Every rule maps to a clause of the determinism contract documented in
+//! `ARCHITECTURE.md`:
+//!
+//! * [`NONDETERMINISTIC_ITERATION`] — reports, exports, and serving
+//!   decisions must not depend on `HashMap`/`HashSet` iteration order.
+//! * [`WALL_CLOCK_IN_VIRTUAL_PATH`] — the virtual cycle clock is the only
+//!   clock results may read; wall clocks live in the telemetry layer and
+//!   in explicitly-allowed timing footers.
+//! * [`PANIC_IN_LIBRARY`] — library code reachable from user input
+//!   returns `Result` instead of panicking; invariant-backed panics carry
+//!   a reasoned allow.
+//! * [`FLOAT_ACCUMULATION_ORDER`] — float accumulation over par-distributed
+//!   collections is order-sensitive and belongs in blessed reduction
+//!   helpers with a pinned order.
+//! * [`RELAXED_ATOMIC_IN_RESULT_PATH`] — `Ordering::Relaxed` loads may not
+//!   feed report values without a documented happens-before argument.
+//! * [`OBSERVE_ONLY_TELEMETRY`] — telemetry handles appear only behind
+//!   `Option` guards (or in blessed export helpers), never in
+//!   result-producing expressions.
+//!
+//! Two engine-level rules police the suppression mechanism itself:
+//! [`MALFORMED_SUPPRESSION`] (every allow must carry a reason) and
+//! [`UNUSED_SUPPRESSION`] (allows that suppress nothing must be deleted).
+
+use crate::lex::TokKind;
+use crate::model::{FileModel, ForLoop, Region};
+use crate::{Diagnostic, LintConfig, Severity};
+
+/// A rule's identity: name, severity, and the contract clause it encodes.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable kebab-case rule name (used in diagnostics and suppressions).
+    pub name: &'static str,
+    /// Severity of the rule's findings.
+    pub severity: Severity,
+    /// One-line description for `--list-rules` and the docs.
+    pub description: &'static str,
+}
+
+/// `HashMap`/`HashSet` in non-test code: iteration order can reach a
+/// report.
+pub const NONDETERMINISTIC_ITERATION: Rule = Rule {
+    name: "nondeterministic-iteration",
+    severity: Severity::Error,
+    description: "HashMap/HashSet in library code: iteration or key collection order is \
+                  nondeterministic and must not reach report, export, or serving paths — use \
+                  BTreeMap/BTreeSet, or allow with a reason proving the order never escapes",
+};
+
+/// `Instant::now`/`SystemTime` outside the telemetry layer.
+pub const WALL_CLOCK_IN_VIRTUAL_PATH: Rule = Rule {
+    name: "wall-clock-in-virtual-path",
+    severity: Severity::Error,
+    description: "Instant::now/SystemTime outside telemetry: virtual-clock results must never \
+                  read a wall clock — wall time is only for the telemetry layer and \
+                  reason-allowed wall-seconds timing footers",
+};
+
+/// `unwrap`/`expect`/`panic!` in non-test library code.
+pub const PANIC_IN_LIBRARY: Rule = Rule {
+    name: "panic-in-library",
+    severity: Severity::Warn,
+    description: "unwrap/expect/panic! in non-test library code: user-input-reachable paths \
+                  must return Result; invariant-backed panics need a reasoned allow",
+};
+
+/// Float `+=` in loops over par-distributed data.
+pub const FLOAT_ACCUMULATION_ORDER: Rule = Rule {
+    name: "float-accumulation-order",
+    severity: Severity::Error,
+    description: "float += in a loop over par-distributed data: float addition is \
+                  order-sensitive, so accumulation order must be pinned by a blessed reduction \
+                  helper or a reasoned allow",
+};
+
+/// `Ordering::Relaxed` loads in result-path files.
+pub const RELAXED_ATOMIC_IN_RESULT_PATH: Rule = Rule {
+    name: "relaxed-atomic-in-result-path",
+    severity: Severity::Error,
+    description: "Ordering::Relaxed load in a result path: a relaxed load feeding a report \
+                  value needs a documented happens-before edge (reasoned allow) or a stronger \
+                  ordering",
+};
+
+/// Telemetry handles outside `Option` guards.
+pub const OBSERVE_ONLY_TELEMETRY: Rule = Rule {
+    name: "observe-only-telemetry",
+    severity: Severity::Error,
+    description: "telemetry handle used outside an Option guard: telemetry is observe-only and \
+                  may never appear in a result-producing expression — guard with `if let \
+                  Some(..)` / `.as_ref().map(..)` or bless the export helper",
+};
+
+/// Suppressions missing a reason (or otherwise unparseable).
+pub const MALFORMED_SUPPRESSION: Rule = Rule {
+    name: "malformed-suppression",
+    severity: Severity::Error,
+    description: "lint:allow(...) that is unparseable, names an unknown rule, or lacks a \
+                  non-empty reason — every suppression must say why the code is safe",
+};
+
+/// Suppressions that suppressed nothing.
+pub const UNUSED_SUPPRESSION: Rule = Rule {
+    name: "unused-suppression",
+    severity: Severity::Warn,
+    description: "lint:allow(...) that matched no diagnostic — stale allows hide contract \
+                  drift and must be deleted",
+};
+
+/// Every rule the engine ships, in catalog order.
+pub const ALL_RULES: [Rule; 8] = [
+    NONDETERMINISTIC_ITERATION,
+    WALL_CLOCK_IN_VIRTUAL_PATH,
+    PANIC_IN_LIBRARY,
+    FLOAT_ACCUMULATION_ORDER,
+    RELAXED_ATOMIC_IN_RESULT_PATH,
+    OBSERVE_ONLY_TELEMETRY,
+    MALFORMED_SUPPRESSION,
+    UNUSED_SUPPRESSION,
+];
+
+/// Looks a rule up by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    ALL_RULES.iter().find(|r| r.name == name)
+}
+
+fn diag(rule: Rule, path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line,
+        rule: rule.name,
+        severity: rule.severity,
+        message,
+    }
+}
+
+/// Runs every rule over one file model and applies its suppressions.
+/// `path` is the workspace-relative path with forward slashes.
+pub fn check_file(path: &str, model: &FileModel<'_>, config: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    nondeterministic_iteration(path, model, &mut diags);
+    wall_clock_in_virtual_path(path, model, config, &mut diags);
+    panic_in_library(path, model, &mut diags);
+    float_accumulation_order(path, model, config, &mut diags);
+    relaxed_atomic_in_result_path(path, model, config, &mut diags);
+    observe_only_telemetry(path, model, config, &mut diags);
+    apply_suppressions(path, model, &mut diags);
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+fn nondeterministic_iteration(path: &str, model: &FileModel<'_>, diags: &mut Vec<Diagnostic>) {
+    for (i, t) in model.tokens.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !model.in_test(i)
+        {
+            diags.push(diag(
+                NONDETERMINISTIC_ITERATION,
+                path,
+                t.line,
+                format!(
+                    "`{}` has nondeterministic iteration order; use BTreeMap/BTreeSet on any \
+                     path that can reach a report, export, or serving decision",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn wall_clock_in_virtual_path(
+    path: &str,
+    model: &FileModel<'_>,
+    config: &LintConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if config.wall_clock_exempt.iter().any(|s| path.ends_with(s)) {
+        return;
+    }
+    for (i, t) in model.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || model.in_test(i) {
+            continue;
+        }
+        let flagged = match t.text {
+            "Instant" => {
+                model.tokens.get(i + 1).map(|n| n.text) == Some("::")
+                    && model.tokens.get(i + 2).map(|n| n.text) == Some("now")
+            }
+            "SystemTime" => true,
+            _ => false,
+        };
+        if flagged {
+            diags.push(diag(
+                WALL_CLOCK_IN_VIRTUAL_PATH,
+                path,
+                t.line,
+                format!(
+                    "`{}` reads the wall clock; virtual-clock results must be wall-clock free — \
+                     move this into the telemetry layer or allow it as pure wall-seconds \
+                     reporting",
+                    if t.text == "Instant" {
+                        "Instant::now"
+                    } else {
+                        "SystemTime"
+                    }
+                ),
+            ));
+        }
+    }
+}
+
+fn panic_in_library(path: &str, model: &FileModel<'_>, diags: &mut Vec<Diagnostic>) {
+    for (i, t) in model.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || model.in_test(i) {
+            continue;
+        }
+        let next = model.tokens.get(i + 1).map(|n| n.text);
+        let prev = i
+            .checked_sub(1)
+            .and_then(|p| model.tokens.get(p))
+            .map(|p| p.text);
+        let what = match t.text {
+            "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                format!(".{}()", t.text)
+            }
+            "panic" if next == Some("!") => "panic!".to_string(),
+            _ => continue,
+        };
+        diags.push(diag(
+            PANIC_IN_LIBRARY,
+            path,
+            t.line,
+            format!(
+                "`{what}` in non-test library code; return a Result on user-input-reachable \
+                 paths, or allow with the invariant that makes this unreachable"
+            ),
+        ));
+    }
+}
+
+fn float_accumulation_order(
+    path: &str,
+    model: &FileModel<'_>,
+    config: &LintConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for lp in &model.loops {
+        if !iterates_par_source(model, lp, config) {
+            continue;
+        }
+        for i in lp.body.start..lp.body.end.min(model.tokens.len()) {
+            let t = model.tokens[i];
+            if t.text != "+=" || model.in_test(i) {
+                continue;
+            }
+            let Some(target) = i.checked_sub(1).and_then(|p| model.tokens.get(p)) else {
+                continue;
+            };
+            if target.kind != TokKind::Ident || !model.float_vars.iter().any(|v| v == target.text) {
+                continue;
+            }
+            if model
+                .enclosing_fn(i)
+                .is_some_and(|f| config.blessed_reductions.iter().any(|b| b == &f))
+            {
+                continue;
+            }
+            diags.push(diag(
+                FLOAT_ACCUMULATION_ORDER,
+                path,
+                t.line,
+                format!(
+                    "float accumulator `{}` is updated with `+=` in a loop over \
+                     par-distributed data; float addition is order-sensitive — reduce in a \
+                     blessed helper with a pinned order, or allow with the ordering argument",
+                    target.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether a loop's iterated expression mentions a par-distributed source.
+fn iterates_par_source(model: &FileModel<'_>, lp: &ForLoop, config: &LintConfig) -> bool {
+    let Region { start, end } = lp.iter;
+    model.tokens[start..end.min(model.tokens.len())]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && config.par_markers.iter().any(|m| m == &t.text))
+}
+
+fn relaxed_atomic_in_result_path(
+    path: &str,
+    model: &FileModel<'_>,
+    config: &LintConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !config.result_path_files.iter().any(|s| path.ends_with(s)) {
+        return;
+    }
+    for (i, t) in model.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "Relaxed" || model.in_test(i) {
+            continue;
+        }
+        // Only loads: a `load` identifier within the few preceding tokens
+        // (`.load(Ordering::Relaxed)`). Relaxed stores/fetch_adds do not
+        // feed report values by themselves.
+        let window_start = i.saturating_sub(6);
+        let is_load = model.tokens[window_start..i]
+            .iter()
+            .any(|p| p.kind == TokKind::Ident && p.text == "load");
+        if is_load {
+            diags.push(diag(
+                RELAXED_ATOMIC_IN_RESULT_PATH,
+                path,
+                t.line,
+                "`Ordering::Relaxed` load in a result path; document the happens-before edge \
+                 that makes the value exact (reasoned allow) or use an acquiring ordering"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn observe_only_telemetry(
+    path: &str,
+    model: &FileModel<'_>,
+    config: &LintConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if config.telemetry_exempt.iter().any(|s| path.ends_with(s)) {
+        return;
+    }
+    /// Methods that keep the handle inside its `Option` wrapper (or only
+    /// test for presence) and therefore cannot leak telemetry into a
+    /// result.
+    const SAFE_METHODS: [&str; 9] = [
+        "clone",
+        "cloned",
+        "as_ref",
+        "as_deref",
+        "map",
+        "is_some",
+        "is_none",
+        "take",
+        "unwrap_or",
+    ];
+    for (i, t) in model.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "telemetry" || model.in_test(i) {
+            continue;
+        }
+        // Skip the declaration side (`telemetry:` struct fields, `let
+        // telemetry =` bindings) and find the method chained onto the
+        // handle: either `telemetry.method` or `telemetry().method`.
+        let mut j = i + 1;
+        if model.tokens.get(j).map(|n| n.text) == Some("(")
+            && model.tokens.get(j + 1).map(|n| n.text) == Some(")")
+        {
+            j += 2;
+        }
+        if model.tokens.get(j).map(|n| n.text) != Some(".") {
+            continue;
+        }
+        let Some(method) = model.tokens.get(j + 1) else {
+            continue;
+        };
+        if method.kind != TokKind::Ident || SAFE_METHODS.contains(&method.text) {
+            continue;
+        }
+        if model
+            .enclosing_fn(i)
+            .is_some_and(|f| config.blessed_telemetry_fns.iter().any(|b| b == &f))
+        {
+            continue;
+        }
+        diags.push(diag(
+            OBSERVE_ONLY_TELEMETRY,
+            path,
+            t.line,
+            format!(
+                "telemetry handle used via `.{}()` outside an Option guard; telemetry is \
+                 observe-only — guard with `if let Some(..)`/`.as_ref().map(..)` or bless the \
+                 export helper",
+                method.text
+            ),
+        ));
+    }
+}
+
+/// Removes diagnostics covered by a well-formed suppression on their line,
+/// then reports malformed and unused suppressions.
+fn apply_suppressions(path: &str, model: &FileModel<'_>, diags: &mut Vec<Diagnostic>) {
+    let mut used = vec![false; model.suppressions.len()];
+    diags.retain(|d| {
+        for (si, sup) in model.suppressions.iter().enumerate() {
+            if sup.problem.is_none()
+                && sup.reason.is_some()
+                && sup.rule == d.rule
+                && sup.target_line == d.line
+            {
+                used[si] = true;
+                return false;
+            }
+        }
+        true
+    });
+    for (si, sup) in model.suppressions.iter().enumerate() {
+        // Test code is never linted, so suppressions that target it are
+        // inert — neither enforced nor reported as unused.
+        if model.line_in_test(sup.target_line) {
+            continue;
+        }
+        if let Some(problem) = &sup.problem {
+            diags.push(diag(
+                MALFORMED_SUPPRESSION,
+                path,
+                sup.line,
+                format!("malformed suppression: {problem}"),
+            ));
+        } else if rule_by_name(&sup.rule).is_none() {
+            diags.push(diag(
+                MALFORMED_SUPPRESSION,
+                path,
+                sup.line,
+                format!(
+                    "suppression names unknown rule `{}` (see `leopard-lint --list-rules`)",
+                    sup.rule
+                ),
+            ));
+        } else if !used[si] {
+            diags.push(diag(
+                UNUSED_SUPPRESSION,
+                path,
+                sup.line,
+                format!(
+                    "suppression of `{}` matched no diagnostic on line {}; delete it",
+                    sup.rule, sup.target_line
+                ),
+            ));
+        }
+    }
+}

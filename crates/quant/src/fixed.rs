@@ -136,6 +136,7 @@ impl QuantizedMatrix {
                 .map(|&c| self.params.dequantize(c))
                 .collect(),
         )
+        // lint:allow(panic-in-library, reason = "rows x cols matches the code vector length this struct was built with")
         .expect("shape consistent by construction")
     }
 

@@ -19,13 +19,17 @@
 use leopard_accel::sim::HeadWorkload;
 use leopard_workloads::pipeline::{build_head_workload, head_seed, sim_seq_len, PipelineOptions};
 use leopard_workloads::suite::TaskDescriptor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cache key: everything that determines a head workload's contents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Keys are `Ord` so shards can use `BTreeMap`: any iteration over cache
+/// contents (diagnostics, future eviction sweeps) sees a deterministic
+/// order, keeping the cache out of the nondeterminism budget entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WorkloadKey {
     /// Task id within the suite.
     pub task_id: usize,
@@ -78,9 +82,14 @@ const SHARDS: usize = 16;
 type Entry = Arc<OnceLock<Arc<HeadWorkload>>>;
 
 /// Sharded concurrent workload cache.
+///
+/// Shards are `BTreeMap`s, not `HashMap`s: per-shard iteration order is the
+/// key order, so walking the cache (see [`WorkloadCache::keys`]) is
+/// deterministic. Shard *selection* still hashes the key — that only picks
+/// which lock to take and never orders anything observable.
 #[derive(Debug)]
 pub struct WorkloadCache {
-    shards: Vec<Mutex<HashMap<WorkloadKey, Entry>>>,
+    shards: Vec<Mutex<BTreeMap<WorkloadKey, Entry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -95,13 +104,13 @@ impl WorkloadCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(BTreeMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &WorkloadKey) -> &Mutex<HashMap<WorkloadKey, Entry>> {
+    fn shard(&self, key: &WorkloadKey) -> &Mutex<BTreeMap<WorkloadKey, Entry>> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % SHARDS]
@@ -116,6 +125,7 @@ impl WorkloadCache {
         build: impl FnOnce() -> HeadWorkload,
     ) -> Arc<HeadWorkload> {
         let entry: Entry = {
+            // lint:allow(panic-in-library, reason = "a poisoned shard means a builder panicked; propagating the panic is the only sound recovery")
             let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
             Arc::clone(shard.entry(key).or_default())
         };
@@ -151,15 +161,38 @@ impl WorkloadCache {
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // lint:allow(relaxed-atomic-in-result-path, reason = "monotonic advisory counters; suite reports read them after the pool quiesces, which the result channel's disconnect has already synchronized")
             hits: self.hits.load(Ordering::Relaxed),
+            // lint:allow(relaxed-atomic-in-result-path, reason = "monotonic advisory counters; suite reports read them after the pool quiesces, which the result channel's disconnect has already synchronized")
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Every cached key, in ascending key order regardless of shard layout,
+    /// thread count, or insertion order — pinned by test so cache walks can
+    /// never leak nondeterminism into a report.
+    pub fn keys(&self) -> Vec<WorkloadKey> {
+        let mut keys: Vec<WorkloadKey> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    // lint:allow(panic-in-library, reason = "a poisoned shard means a builder panicked; propagating the panic is the only sound recovery")
+                    .expect("cache shard poisoned")
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Number of cached workloads.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
+            // lint:allow(panic-in-library, reason = "a poisoned shard means a builder panicked; propagating the panic is the only sound recovery")
             .map(|s| s.lock().expect("cache shard poisoned").len())
             .sum()
     }
@@ -251,6 +284,27 @@ mod tests {
         }
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 7);
+    }
+
+    #[test]
+    fn key_walk_is_sorted_regardless_of_insertion_order() {
+        // The BTreeMap shards pin cache-walk determinism: whatever order
+        // threads inserted in, `keys()` yields ascending key order.
+        let suite = full_suite();
+        let forward = WorkloadCache::new();
+        for head in 0..3 {
+            let _ = forward.head_workload(&suite[0], &options(), head);
+            let _ = forward.head_workload(&suite[1], &options(), head);
+        }
+        let backward = WorkloadCache::new();
+        for head in (0..3).rev() {
+            let _ = backward.head_workload(&suite[1], &options(), head);
+            let _ = backward.head_workload(&suite[0], &options(), head);
+        }
+        let keys = forward.keys();
+        assert_eq!(keys, backward.keys());
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys.len(), 6);
     }
 
     #[test]

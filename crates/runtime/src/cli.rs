@@ -858,6 +858,7 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
         );
     }
 
+    // lint:allow(wall-clock-in-virtual-path, reason = "wall-seconds footer for the sweep table; simulated results never read it")
     let start = std::time::Instant::now();
     for &value in &spec.values {
         let param = spec.param;

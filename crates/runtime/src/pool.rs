@@ -62,18 +62,18 @@ impl Shared {
         match local {
             Some(index) => self.locals[index]
                 .lock()
-                .expect("queue lock poisoned")
+                .expect("queue lock poisoned") // lint:allow(panic-in-library, reason = "a poisoned queue lock means a job panicked mid-push/pop; the pool cannot continue and propagating is correct")
                 .push_back(job),
             None => self
                 .injector
                 .lock()
-                .expect("injector lock poisoned")
+                .expect("injector lock poisoned") // lint:allow(panic-in-library, reason = "a poisoned injector means a job panicked mid-push/pop; the pool cannot continue and propagating is correct")
                 .push_back(job),
         }
         self.queued.fetch_add(1, Ordering::SeqCst);
         // Notify under the sleep lock so a worker that just checked `queued`
         // and is about to wait cannot miss this wake-up.
-        let _guard = self.sleep.lock().expect("sleep lock poisoned");
+        let _guard = self.sleep.lock().expect("sleep lock poisoned"); // lint:allow(panic-in-library, reason = "the sleep lock guards only the condvar handshake; poisoning means a worker panicked and the pool must come down")
         self.wake.notify_one();
     }
 
@@ -81,7 +81,7 @@ impl Shared {
         // Own queue first (LIFO for locality)...
         if let Some(job) = self.locals[index]
             .lock()
-            .expect("queue lock poisoned")
+            .expect("queue lock poisoned") // lint:allow(panic-in-library, reason = "a poisoned queue lock means a job panicked mid-push/pop; the pool cannot continue and propagating is correct")
             .pop_back()
         {
             self.queued.fetch_sub(1, Ordering::SeqCst);
@@ -91,7 +91,7 @@ impl Shared {
         if let Some(job) = self
             .injector
             .lock()
-            .expect("injector lock poisoned")
+            .expect("injector lock poisoned") // lint:allow(panic-in-library, reason = "a poisoned injector means a job panicked mid-push/pop; the pool cannot continue and propagating is correct")
             .pop_front()
         {
             self.queued.fetch_sub(1, Ordering::SeqCst);
@@ -103,7 +103,7 @@ impl Shared {
             let victim = (index + offset) % n;
             if let Some(job) = self.locals[victim]
                 .lock()
-                .expect("queue lock poisoned")
+                .expect("queue lock poisoned") // lint:allow(panic-in-library, reason = "a poisoned queue lock means a job panicked mid-push/pop; the pool cannot continue and propagating is correct")
                 .pop_front()
             {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
@@ -136,7 +136,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let guard = shared.sleep.lock().expect("sleep lock poisoned");
+        let guard = shared.sleep.lock().expect("sleep lock poisoned"); // lint:allow(panic-in-library, reason = "the sleep lock guards only the condvar handshake; poisoning means a worker panicked and the pool must come down")
         if shared.queued.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
             // The timeout is a belt-and-suspenders fallback; the push path
             // notifies under the same lock, so wake-ups are not lost.
@@ -147,7 +147,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
 
 fn wait<'a>(cv: &Condvar, guard: std::sync::MutexGuard<'a, ()>) -> std::sync::MutexGuard<'a, ()> {
     cv.wait_timeout(guard, Duration::from_millis(50))
-        .expect("sleep lock poisoned")
+        .expect("sleep lock poisoned") // lint:allow(panic-in-library, reason = "the sleep lock guards only the condvar handshake; poisoning means a worker panicked and the pool must come down")
         .0
 }
 
@@ -206,7 +206,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("leopard-worker-{index}"))
                     .spawn(move || worker_loop(shared, index))
-                    .expect("failed to spawn pool worker")
+                    .expect("failed to spawn pool worker") // lint:allow(panic-in-library, reason = "thread spawn fails only on resource exhaustion at pool construction; there is no caller that could meaningfully recover")
             })
             .collect();
         Self {
@@ -252,7 +252,7 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let _guard = self.shared.sleep.lock().expect("sleep lock poisoned");
+            let _guard = self.shared.sleep.lock().expect("sleep lock poisoned"); // lint:allow(panic-in-library, reason = "the sleep lock guards only the condvar handshake; poisoning means a worker panicked and the pool must come down")
             self.shared.wake.notify_all();
         }
         for worker in self.workers.drain(..) {
@@ -300,7 +300,7 @@ where
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("worker completed every item"))
+        .map(|slot| slot.expect("worker completed every item")) // lint:allow(panic-in-library, reason = "parallel_map joins every worker before reading slots, so an empty slot is a pool bug, not an input error")
         .collect()
 }
 

@@ -181,20 +181,20 @@ pub struct MetricsRegistry {
 impl MetricsRegistry {
     /// Adds `by` to the named counter (created at zero).
     pub fn incr(&self, name: &str, by: u64) {
-        let mut counters = self.counters.lock().expect("metrics lock poisoned");
+        let mut counters = self.counters.lock().expect("metrics lock poisoned"); // lint:allow(panic-in-library, reason = "a poisoned metrics lock means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
         *counters.entry(name.to_string()).or_insert(0) += by;
     }
 
     /// Sets the named gauge to `value` (last write wins).
     pub fn set_gauge(&self, name: &str, value: f64) {
-        let mut gauges = self.gauges.lock().expect("metrics lock poisoned");
+        let mut gauges = self.gauges.lock().expect("metrics lock poisoned"); // lint:allow(panic-in-library, reason = "a poisoned metrics lock means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
         gauges.insert(name.to_string(), value);
     }
 
     /// Observes `value` in the named fixed-bucket histogram; `bounds` are
     /// the inclusive bucket upper bounds, used on first touch.
     pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
-        let mut histograms = self.histograms.lock().expect("metrics lock poisoned");
+        let mut histograms = self.histograms.lock().expect("metrics lock poisoned"); // lint:allow(panic-in-library, reason = "a poisoned metrics lock means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
         histograms
             .entry(name.to_string())
             .or_insert_with(|| Histogram::with_bounds(bounds))
@@ -205,7 +205,7 @@ impl MetricsRegistry {
     /// value `i`) into the named histogram. Do not mix with
     /// [`observe`](Self::observe) on the same name.
     pub fn merge_indexed(&self, name: &str, counts: &[u64]) {
-        let mut histograms = self.histograms.lock().expect("metrics lock poisoned");
+        let mut histograms = self.histograms.lock().expect("metrics lock poisoned"); // lint:allow(panic-in-library, reason = "a poisoned metrics lock means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
         histograms
             .entry(name.to_string())
             .or_default()
@@ -218,21 +218,21 @@ impl MetricsRegistry {
             counters: self
                 .counters
                 .lock()
-                .expect("metrics lock poisoned")
+                .expect("metrics lock poisoned") // lint:allow(panic-in-library, reason = "a poisoned metrics lock means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
                 .iter()
                 .map(|(k, &v)| (k.clone(), v))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .expect("metrics lock poisoned")
+                .expect("metrics lock poisoned") // lint:allow(panic-in-library, reason = "a poisoned metrics lock means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
                 .iter()
                 .map(|(k, &v)| (k.clone(), v))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .expect("metrics lock poisoned")
+                .expect("metrics lock poisoned") // lint:allow(panic-in-library, reason = "a poisoned metrics lock means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
@@ -383,7 +383,7 @@ impl Telemetry {
     fn push(&self, worker: usize, event: TraceEvent) {
         self.buffers[worker]
             .lock()
-            .expect("telemetry buffer poisoned")
+            .expect("telemetry buffer poisoned") // lint:allow(panic-in-library, reason = "a poisoned span buffer means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
             .push(event);
     }
 
@@ -494,7 +494,7 @@ impl Telemetry {
     pub fn event_count(&self) -> usize {
         self.buffers
             .iter()
-            .map(|b| b.lock().expect("telemetry buffer poisoned").len())
+            .map(|b| b.lock().expect("telemetry buffer poisoned").len()) // lint:allow(panic-in-library, reason = "a poisoned span buffer means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
             .sum()
     }
 
@@ -514,7 +514,7 @@ impl Telemetry {
             events.extend(
                 buffer
                     .lock()
-                    .expect("telemetry buffer poisoned")
+                    .expect("telemetry buffer poisoned") // lint:allow(panic-in-library, reason = "a poisoned span buffer means an instrumented thread panicked; observe-only telemetry must not mask that by fabricating data")
                     .iter()
                     .cloned(),
             );

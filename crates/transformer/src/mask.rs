@@ -78,7 +78,7 @@ impl<H: InferenceScoreHook> InferenceScoreHook for CausalHook<H> {
         for r in 0..s {
             let visible = r + 1;
             let mut row = Matrix::from_vec(1, visible, scores.row(r)[..visible].to_vec())
-                .expect("shape consistent");
+                .expect("shape consistent"); // lint:allow(panic-in-library, reason = "the row slice is exactly 1 x visible by construction")
             self.inner.on_scores(&mut row, layer, head);
             scores.row_mut(r)[..visible].copy_from_slice(row.row(0));
             for c in visible..s {

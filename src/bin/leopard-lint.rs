@@ -1,0 +1,9 @@
+//! The `leopard-lint` entry point (built by `cargo build --release` at the
+//! workspace root alongside `leopard`). All logic lives in
+//! `leopard_lint::cli` so it can be unit-tested; this binary only forwards
+//! the arguments and the exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(leopard::lint::cli::run(&args));
+}

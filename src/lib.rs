@@ -19,6 +19,7 @@
 //! | [`accel`] | `leopard-accel` | cycle-level tile simulator, energy/area models, Table 2 |
 //! | [`workloads`] | `leopard-workloads` | the 43-task suite and end-to-end pipeline |
 //! | [`runtime`] | `leopard-runtime` | parallel suite-execution engine, serving-mode engine, cost-model scheduler, `leopard` CLI |
+//! | [`lint`] | `leopard-lint` | `leopard-lint` static contract checker: determinism, observe-only, and panic-safety rules |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@
 pub use leopard_accel as accel;
 pub use leopard_autodiff as autodiff;
 pub use leopard_core as pruning;
+pub use leopard_lint as lint;
 pub use leopard_quant as quant;
 pub use leopard_runtime as runtime;
 pub use leopard_tensor as tensor;

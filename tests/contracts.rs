@@ -1,0 +1,20 @@
+//! Tier-1 contract gate: the whole workspace must be `leopard-lint` clean.
+//!
+//! This is the same check CI runs via `leopard-lint . --deny`, pulled into
+//! the test suite so a plain `cargo test` catches a new contract violation
+//! (or a reasonless suppression) before it ever reaches a pull request.
+
+use leopard::lint::{lint_workspace, render_text, LintConfig};
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = lint_workspace(root, &LintConfig::default())
+        .unwrap_or_else(|e| panic!("workspace walk failed: {e}"));
+    assert!(
+        diags.is_empty(),
+        "leopard-lint found contract violations:\n{}",
+        render_text(&diags)
+    );
+}

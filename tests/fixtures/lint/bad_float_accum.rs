@@ -1,0 +1,7 @@
+pub fn total(shards: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for s in shards {
+        total += s;
+    }
+    total
+}

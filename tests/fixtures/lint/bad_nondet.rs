@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn tally(names: &[&str]) -> usize {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for n in names {
+        *seen.entry(n).or_insert(0) += 1;
+    }
+    seen.len()
+}

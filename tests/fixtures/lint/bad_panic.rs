@@ -1,0 +1,13 @@
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn must(map: Option<u32>) -> u32 {
+    map.expect("present")
+}
+
+pub fn never(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

@@ -1,0 +1,5 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn jobs_done(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+pub fn wrong(xs: &[u32]) -> u32 {
+    // lint:allow(panic-in-library)
+    *xs.first().unwrap()
+}
+
+pub fn unknown(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // lint:allow(not-a-rule, reason = "names a rule that does not exist")
+}
+
+// lint:allow(wall-clock-in-virtual-path, reason = "nothing on the next line reads a clock")
+pub fn stale() {}

@@ -1,0 +1,3 @@
+pub fn finish(telemetry: &Telemetry) -> String {
+    telemetry.flush()
+}

@@ -16,6 +16,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# A guard without a baseline is a no-op that looks green — refuse to run.
+for baseline in BENCH_qk_kernel.json BENCH_tiles.json; do
+  if [ ! -f "$baseline" ]; then
+    echo "perf_guard: missing committed baseline '$baseline'." >&2
+    echo "perf_guard: regenerate and commit it first — kernel_bench writes BENCH_qk_kernel.json," >&2
+    echo "perf_guard: tile_scaling writes BENCH_tiles.json (cargo run --release --example <name>)" >&2
+    exit 1
+  fi
+done
+
 # Last "speedup" value in a BENCH json (the largest design point).
 speedup_of() {
   grep -o '"speedup": *[0-9.]*' "$1" | tail -n 1 | sed 's/[^0-9.]*//g'
@@ -23,6 +33,10 @@ speedup_of() {
 
 base_kernel=$(speedup_of BENCH_qk_kernel.json)
 base_tiles=$(speedup_of BENCH_tiles.json)
+if [ -z "$base_kernel" ] || [ -z "$base_tiles" ]; then
+  echo "perf_guard: baseline file present but contains no \"speedup\" entry — corrupt baseline?" >&2
+  exit 1
+fi
 echo "committed baselines: kernel ${base_kernel}x, 8-tile makespan ${base_tiles}x"
 
 cargo run --release --example kernel_bench
