@@ -72,6 +72,6 @@ pub use cost::{head_cost, HeadCost};
 pub use dpu::{DotProductOutcome, QkDpu};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use kernel::{QkKernel, RowScratch};
-pub use schedule::{schedule_layer, schedule_model, LayerSchedule, ModelSchedule};
+pub use schedule::{schedule_layer, schedule_model, LayerSchedule, ModelSchedule, Placement};
 pub use sim::{simulate_head, simulate_head_reference, HeadSimResult, HeadWorkload};
 pub use softmax::{SoftmaxLut, SoftmaxLutConfig};

@@ -9,16 +9,28 @@
 //! [`merge_head_shards`] reassembles them into a [`TiledHeadSim`] whose
 //! merged accounting is bit-identical to single-tile execution (counters
 //! sum, timing reconstructs exactly; the per-tile makespan is the parallel
-//! latency). Above that, [`schedule_layer`] assigns whole heads to tiles
-//! (round-robin, matching the static partitioning of the paper) and
-//! reports the layer's makespan, total energy, and per-tile utilization; a
-//! model-level helper then sums layers.
+//! latency).
+//!
+//! Above that sits the layer scheduler: [`plan_layer`] assigns heads→tiles
+//! with the per-head tile split chosen by **predicted** load (the
+//! [`CostModel`] tiled predictor is the objective — no simulation runs
+//! before a placement is decided), under one of three [`Placement`]
+//! policies: greedy LPT, round-robin, or the paper's static whole-head
+//! partition. [`schedule_layer`] executes a plan and reports the layer's
+//! makespan, total energy, and per-tile utilization; a model-level helper
+//! then sums layers.
+//!
+//! The conformance contract (pinned by `tests/layer_conformance.rs`):
+//! placement decides **only the makespan**. Per-head merged accounting,
+//! layer energy, and pruning rates are bit-identical across every policy
+//! and tile count, because each head's shards always reassemble through
+//! [`merge_head_shards`] and the float aggregation follows the plan's
+//! canonical (content-ordered) head order rather than enumeration order.
 
 use crate::config::TileConfig;
+use crate::cost::CostModel;
 use crate::energy::{energy_from_events, EnergyBreakdown, EnergyModel};
-use crate::sim::{
-    merge_shards, simulate_head, simulate_head_shard, HeadSimResult, HeadWorkload, TileShardSim,
-};
+use crate::sim::{merge_shards, simulate_head_shard, HeadSimResult, HeadWorkload, TileShardSim};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -79,7 +91,8 @@ impl TilePartition {
 /// on its tile), and the merged single-tile-exact [`HeadSimResult`].
 ///
 /// The determinism/merge contract: `merged` is **bit-identical** to
-/// [`simulate_head`] / [`crate::sim::simulate_head_reference`] on the same
+/// [`simulate_head`](crate::sim::simulate_head) /
+/// [`crate::sim::simulate_head_reference`] on the same
 /// workload, for every tile count — counters and histograms are sums over
 /// tiles, and the timing fields are reconstructed exactly from the shard
 /// boundary terms (see [`crate::sim::merge_shards`]). What the tile count
@@ -168,19 +181,346 @@ pub fn simulate_head_tiled(
     merge_head_shards(tiles, &shards)
 }
 
+/// Head→tile placement policy of the layer scheduler.
+///
+/// Placement decides *where* head shards run and therefore the layer
+/// **makespan** — and nothing else: merged per-head accounting, layer
+/// energy, and pruning rates are bit-identical across policies (the
+/// conformance contract of `tests/layer_conformance.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Placement {
+    /// Greedy longest-predicted-first: heads in descending predicted load,
+    /// each shard onto the currently least-loaded tile, with a round-robin
+    /// fallback when the greedy layout predicts a longer makespan — so LPT
+    /// never predicts worse than [`Placement::RoundRobin`] (a guarantee,
+    /// pinned by proptest, not a heuristic hope).
+    #[default]
+    Lpt,
+    /// Round-robin: shards cycle over the tiles in canonical
+    /// (heaviest-first) head order.
+    RoundRobin,
+    /// The paper's static partition: whole heads (never split), head rank
+    /// `r` on tile `r % tiles`. Over-tiled layers leave tiles idle.
+    Static,
+}
+
+impl Placement {
+    /// Every placement policy, in ablation order.
+    pub const ALL: [Placement; 3] = [Placement::Lpt, Placement::RoundRobin, Placement::Static];
+
+    /// Stable CLI/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::Lpt => "lpt",
+            Placement::RoundRobin => "rr",
+            Placement::Static => "static",
+        }
+    }
+
+    /// The policy's position in [`Placement::ALL`] (the ablation order —
+    /// sweep grids carry policies as these indices).
+    pub fn index(&self) -> usize {
+        match self {
+            Placement::Lpt => 0,
+            Placement::RoundRobin => 1,
+            Placement::Static => 2,
+        }
+    }
+
+    /// Parses a CLI label (`lpt`, `rr`/`round-robin`, `static`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted labels on unknown input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.to_ascii_lowercase().as_str() {
+            "lpt" | "greedy" => Ok(Placement::Lpt),
+            "rr" | "round-robin" | "roundrobin" => Ok(Placement::RoundRobin),
+            "static" => Ok(Placement::Static),
+            other => Err(format!(
+                "unknown placement {other:?} (expected lpt, rr, or static)"
+            )),
+        }
+    }
+}
+
+/// The planner's view of one head: enough metadata to predict its load
+/// without building (or simulating) its workload — serving plans requests
+/// it has not executed yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedHead {
+    /// Sequence length (Q rows) of the head.
+    pub seq_len: usize,
+    /// Deterministic tie-break key. When two heads predict the same load at
+    /// the same sequence length the planner orders them by this key;
+    /// callers that need placement invariant under head *enumeration*
+    /// order must derive it from head content (see
+    /// [`workload_fingerprint`]) so that equal keys imply interchangeable
+    /// heads.
+    pub tie_break: u64,
+}
+
+/// A layer placement: which tiles each head's shards run on. Produced by
+/// [`plan_layer`] from predictions only; executed by [`schedule_layer`]
+/// (serially) and by the runtime engine (as pool sub-DAG jobs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerPlan {
+    /// Number of physical tiles planned over.
+    pub tiles: usize,
+    /// The policy that produced the plan.
+    pub placement: Placement,
+    /// Per input head, the distinct tiles its shards run on: shard `i` of
+    /// the head's [`TilePartition`] runs on `shard_tiles[head][i]`, and the
+    /// vector's length is the head's tile split.
+    pub shard_tiles: Vec<Vec<usize>>,
+    /// Input head indices in canonical planning order: descending predicted
+    /// load, ties broken by descending `seq_len` then ascending
+    /// [`PlannedHead::tie_break`]. Aggregation that must be
+    /// enumeration-order-invariant folds in this order.
+    pub canonical: Vec<usize>,
+    /// Predicted busy cycles per tile under the plan.
+    pub predicted_tile_cycles: Vec<u64>,
+}
+
+impl LayerPlan {
+    /// The tile split of `head` (how many tiles its rows are partitioned
+    /// across).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is out of range.
+    pub fn split(&self, head: usize) -> usize {
+        self.shard_tiles[head].len()
+    }
+
+    /// Predicted layer makespan: the busiest tile's predicted cycles (at
+    /// least 1, mirroring the simulator's cycle floor).
+    pub fn predicted_makespan_cycles(&self) -> u64 {
+        self.predicted_tile_cycles
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+}
+
+/// Deterministic FNV-1a fingerprint of a head workload's content — the
+/// [`PlannedHead::tie_break`] key [`schedule_layer`] uses, which makes its
+/// placement a pure function of the *multiset* of head workloads: shuffling
+/// the heads of a layer never changes the plan, because heads that collide
+/// on `(predicted load, seq_len, fingerprint)` carry identical content and
+/// are therefore interchangeable.
+pub fn workload_fingerprint(workload: &HeadWorkload) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(hash: u64, value: u64) -> u64 {
+        (hash ^ value).wrapping_mul(PRIME)
+    }
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    hash = mix(hash, workload.seq_len() as u64);
+    hash = mix(hash, workload.head_dim as u64);
+    hash = mix(hash, workload.threshold_int as u64);
+    for row in workload.q_codes.iter().chain(workload.k_codes.iter()) {
+        for &code in row {
+            hash = mix(hash, code as u64);
+        }
+    }
+    hash
+}
+
+/// Plans one layer's head→tile placement from **predicted** load only.
+///
+/// `predict(seq_len, tiles)` must be a pure function returning the
+/// predicted per-tile cycles of a head of `seq_len` rows split across
+/// `tiles` tiles — [`CostModel::predict_head_cycles_tiled`] partially
+/// applied is the intended argument. The plan is then a pure function of
+/// the head multiset, the tile count, and the policy: deterministic, and
+/// invariant under head enumeration order (given content-derived
+/// [`PlannedHead::tie_break`] keys).
+///
+/// The per-head tile split is chosen by predicted load: heads stay whole
+/// while `heads >= tiles` (the paper's static-partition regime), and when
+/// tiles would otherwise idle (`heads < tiles`) each spare tile goes to the
+/// head whose predicted per-tile cycles are currently largest — the
+/// critical path shrinks first. [`Placement::Static`] never splits.
+///
+/// # Panics
+///
+/// Panics if `heads` is empty or `tiles` is zero.
+pub fn plan_layer(
+    heads: &[PlannedHead],
+    tiles: usize,
+    placement: Placement,
+    predict: impl Fn(usize, usize) -> u64,
+) -> LayerPlan {
+    assert!(!heads.is_empty(), "a layer has at least one attention head");
+    assert!(tiles > 0, "a plan needs at least one tile");
+    // Canonical order: descending predicted single-tile load, ties by
+    // descending seq_len then ascending tie_break — a function of head
+    // content, never of enumeration order.
+    let loads: Vec<u64> = heads.iter().map(|h| predict(h.seq_len, 1)).collect();
+    let mut canonical: Vec<usize> = (0..heads.len()).collect();
+    canonical.sort_by(|&a, &b| {
+        loads[b]
+            .cmp(&loads[a])
+            .then(heads[b].seq_len.cmp(&heads[a].seq_len))
+            .then(heads[a].tie_break.cmp(&heads[b].tie_break))
+    });
+
+    let mut splits = vec![1usize; heads.len()];
+    if placement != Placement::Static && heads.len() < tiles {
+        for _ in 0..tiles - heads.len() {
+            // Widen the head whose predicted per-tile cycles are largest at
+            // its current split; ties resolve toward the earlier canonical
+            // rank (strict-greater scan, so the choice is deterministic).
+            let mut widest = canonical[0];
+            let mut worst = predict(heads[widest].seq_len, splits[widest]);
+            for &h in &canonical[1..] {
+                let load = predict(heads[h].seq_len, splits[h]);
+                if load > worst {
+                    widest = h;
+                    worst = load;
+                }
+            }
+            splits[widest] += 1;
+        }
+    }
+    debug_assert!(splits.iter().all(|&s| s <= tiles));
+
+    let shard_tiles = match placement {
+        Placement::Static => {
+            let mut shard_tiles = vec![Vec::new(); heads.len()];
+            for (rank, &h) in canonical.iter().enumerate() {
+                shard_tiles[h] = vec![rank % tiles];
+            }
+            shard_tiles
+        }
+        Placement::RoundRobin => round_robin_assignment(&canonical, &splits, tiles),
+        Placement::Lpt => {
+            let greedy = lpt_assignment(heads, &canonical, &splits, tiles, &predict);
+            // Greedy list scheduling is a heuristic; when the round-robin
+            // layout of the same splits predicts a shorter makespan, take
+            // it. The fallback turns "LPT never predicts a longer makespan
+            // than round-robin" from a conjecture into a guarantee (pinned
+            // by proptest in tests/cost_props.rs).
+            let rr = round_robin_assignment(&canonical, &splits, tiles);
+            let greedy_makespan = predicted_cycles_of(heads, &greedy, tiles, &predict)
+                .into_iter()
+                .max()
+                .unwrap_or(0);
+            let rr_makespan = predicted_cycles_of(heads, &rr, tiles, &predict)
+                .into_iter()
+                .max()
+                .unwrap_or(0);
+            if greedy_makespan <= rr_makespan {
+                greedy
+            } else {
+                rr
+            }
+        }
+    };
+    let predicted_tile_cycles = predicted_cycles_of(heads, &shard_tiles, tiles, &predict);
+    LayerPlan {
+        tiles,
+        placement,
+        shard_tiles,
+        canonical,
+        predicted_tile_cycles,
+    }
+}
+
+/// Round-robin shard layout: walking heads in canonical order, shards take
+/// consecutive tiles from a running cursor (mod `tiles`). Because every
+/// split is at most `tiles`, one head's shards always land on distinct
+/// tiles.
+fn round_robin_assignment(canonical: &[usize], splits: &[usize], tiles: usize) -> Vec<Vec<usize>> {
+    let mut shard_tiles = vec![Vec::new(); splits.len()];
+    let mut cursor = 0usize;
+    for &h in canonical {
+        shard_tiles[h] = (0..splits[h])
+            .map(|_| {
+                let tile = cursor % tiles;
+                cursor += 1;
+                tile
+            })
+            .collect();
+    }
+    shard_tiles
+}
+
+/// Greedy LPT shard layout: heads in canonical (descending predicted load)
+/// order; each head's shards go to its split's worth of currently
+/// least-loaded distinct tiles, ties toward the lower tile index.
+fn lpt_assignment(
+    heads: &[PlannedHead],
+    canonical: &[usize],
+    splits: &[usize],
+    tiles: usize,
+    predict: impl Fn(usize, usize) -> u64,
+) -> Vec<Vec<usize>> {
+    let mut shard_tiles = vec![Vec::new(); heads.len()];
+    let mut loads = vec![0u64; tiles];
+    for &h in canonical {
+        let per_shard = predict(heads[h].seq_len, splits[h]);
+        let mut order: Vec<usize> = (0..tiles).collect();
+        order.sort_by_key(|&t| (loads[t], t));
+        let chosen: Vec<usize> = order[..splits[h]].to_vec();
+        for &tile in &chosen {
+            loads[tile] += per_shard;
+        }
+        shard_tiles[h] = chosen;
+    }
+    shard_tiles
+}
+
+/// Predicted per-tile busy cycles of a shard layout (every shard of a head
+/// is charged the head's predicted per-tile cycles at its split).
+fn predicted_cycles_of(
+    heads: &[PlannedHead],
+    shard_tiles: &[Vec<usize>],
+    tiles: usize,
+    predict: impl Fn(usize, usize) -> u64,
+) -> Vec<u64> {
+    let mut cycles = vec![0u64; tiles];
+    for (h, tiles_of) in shard_tiles.iter().enumerate() {
+        let per_shard = predict(heads[h].seq_len, tiles_of.len());
+        for &tile in tiles_of {
+            cycles[tile] += per_shard;
+        }
+    }
+    cycles
+}
+
+/// The pruning rate [`schedule_layer`]'s planner assumes. Placement needs
+/// only *relative* loads, which a flat rate never reorders; realized
+/// per-head pruning divergence is exactly what the conformance suite and
+/// the LPT fallback bound.
+const PLANNED_PRUNING_RATE: f64 = 0.0;
+
 /// Cycle and energy totals of one attention layer executed on a multi-tile
-/// accelerator.
+/// accelerator under a [`Placement`] policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerSchedule {
     /// Number of tiles used.
     pub tiles: usize,
-    /// Per-tile busy cycles (sum of the cycles of the heads mapped to it).
+    /// The placement policy that produced the schedule.
+    pub placement: Placement,
+    /// Per-tile busy cycles (sum of the shard cycles mapped to it).
     pub tile_cycles: Vec<u64>,
-    /// Layer makespan: the busiest tile's cycle count.
+    /// Layer makespan: the busiest tile's cycle count. The **only**
+    /// policy-dependent quantity in the schedule.
     pub makespan_cycles: u64,
-    /// Total energy of all heads.
+    /// The planner's predicted makespan (what placement optimized).
+    pub predicted_makespan_cycles: u64,
+    /// Per input head, the tile split the plan chose.
+    pub splits: Vec<usize>,
+    /// Per input head, the tiled simulation — `heads[h].merged` is
+    /// bit-identical to single-tile execution of head `h` for every policy
+    /// and tile count.
+    pub heads: Vec<TiledHeadSim>,
+    /// Total energy of all heads (policy-independent).
     pub energy: EnergyBreakdown,
-    /// Mean pruning rate across the layer's heads.
+    /// Mean pruning rate across the layer's heads (policy-independent).
     pub pruning_rate: f64,
 }
 
@@ -196,8 +536,17 @@ impl LayerSchedule {
     }
 }
 
-/// Simulates every head of one layer and schedules them round-robin over the
-/// configured number of tiles.
+/// Simulates every head of one layer and executes the placement
+/// [`plan_layer`] chooses for `config.tiles` tiles under `placement`.
+///
+/// The plan is decided **before** any simulation, from the analytical cost
+/// model at a flat pruning assumption — the same information a serving
+/// admission path has. Execution then shards each head per its planned
+/// split, charges shard cycles to the planned tiles, and reassembles every
+/// head through [`merge_head_shards`], so per-head accounting, energy, and
+/// pruning are bit-identical across policies; only
+/// [`LayerSchedule::makespan_cycles`] (and the per-tile busy vector behind
+/// it) depends on `placement`.
 ///
 /// # Panics
 ///
@@ -206,6 +555,7 @@ pub fn schedule_layer(
     head_workloads: &[HeadWorkload],
     config: &TileConfig,
     model: &EnergyModel,
+    placement: Placement,
 ) -> LayerSchedule {
     assert!(
         !head_workloads.is_empty(),
@@ -216,14 +566,38 @@ pub fn schedule_layer(
         // lint:allow(panic-in-library, reason = "tile configs are validated at CLI parse and in builders; an invalid config reaching the scheduler is a programmer error, documented under # Panics")
         .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
     let tiles = config.tiles.max(1);
+    let planned: Vec<PlannedHead> = head_workloads
+        .iter()
+        .map(|w| PlannedHead {
+            seq_len: w.seq_len(),
+            tie_break: workload_fingerprint(w),
+        })
+        .collect();
+    let cost = CostModel::analytical();
+    let plan = plan_layer(&planned, tiles, placement, |seq_len, split| {
+        cost.predict_head_cycles_tiled("", config, seq_len, PLANNED_PRUNING_RATE, split)
+    });
+
     let mut tile_cycles = vec![0u64; tiles];
+    let heads: Vec<TiledHeadSim> = head_workloads
+        .iter()
+        .enumerate()
+        .map(|(h, workload)| {
+            let tiled = simulate_head_tiled(workload, config, plan.split(h));
+            for (shard, &tile) in plan.shard_tiles[h].iter().enumerate() {
+                tile_cycles[tile] += tiled.tile_cycles[shard];
+            }
+            tiled
+        })
+        .collect();
+
+    // Energy and pruning fold in the plan's canonical head order — a pure
+    // function of head content shared by every policy — so these sums are
+    // bit-identical under head shuffling and across placements.
     let mut energy = EnergyBreakdown::default();
     let mut pruning = 0.0f64;
-
-    for (head_idx, workload) in head_workloads.iter().enumerate() {
-        let result: HeadSimResult = simulate_head(workload, config);
-        let tile = head_idx % tiles;
-        tile_cycles[tile] += result.total_cycles;
+    for &h in &plan.canonical {
+        let result = &heads[h].merged;
         let head_energy = energy_from_events(&result.events, config, model);
         energy = EnergyBreakdown {
             qk_compute: energy.qk_compute + head_energy.qk_compute,
@@ -232,14 +606,17 @@ pub fn schedule_layer(
             v_compute: energy.v_compute + head_energy.v_compute,
             value_memory: energy.value_memory + head_energy.value_memory,
         };
-        // lint:allow(float-accumulation-order, reason = "serial loop in fixed head-index order; the sum is deterministic because nothing reorders head_workloads, pinned by the schedule golden tests")
         pruning += result.pruning_rate();
     }
 
     LayerSchedule {
         tiles,
+        placement,
         makespan_cycles: tile_cycles.iter().copied().max().unwrap_or(0),
         tile_cycles,
+        predicted_makespan_cycles: plan.predicted_makespan_cycles(),
+        splits: (0..head_workloads.len()).map(|h| plan.split(h)).collect(),
+        heads,
         energy,
         pruning_rate: pruning / head_workloads.len() as f64,
     }
@@ -277,7 +654,7 @@ impl ModelSchedule {
     }
 }
 
-/// Schedules every layer of a model.
+/// Schedules every layer of a model under one placement policy.
 ///
 /// # Panics
 ///
@@ -286,6 +663,7 @@ pub fn schedule_model(
     layer_workloads: &[Vec<HeadWorkload>],
     config: &TileConfig,
     model: &EnergyModel,
+    placement: Placement,
 ) -> ModelSchedule {
     assert!(
         !layer_workloads.is_empty(),
@@ -294,7 +672,7 @@ pub fn schedule_model(
     ModelSchedule {
         layers: layer_workloads
             .iter()
-            .map(|heads| schedule_layer(heads, config, model))
+            .map(|heads| schedule_layer(heads, config, model, placement))
             .collect(),
     }
 }
@@ -302,6 +680,7 @@ pub fn schedule_model(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::simulate_head;
     use leopard_tensor::rng;
 
     fn workloads(heads: usize, threshold: f32, seed: u64) -> Vec<HeadWorkload> {
@@ -315,14 +694,28 @@ mod tests {
             .collect()
     }
 
+    /// Heads of *different* sizes, so predicted loads differ and placement
+    /// decisions are non-trivial.
+    fn ragged_workloads(lens: &[usize], seed: u64) -> Vec<HeadWorkload> {
+        lens.iter()
+            .enumerate()
+            .map(|(h, &s)| {
+                let mut r = rng::seeded(seed + h as u64);
+                let q = rng::normal_matrix(&mut r, s, 32, 0.0, 1.0);
+                let k = rng::normal_matrix(&mut r, s, 32, 0.0, 1.0);
+                HeadWorkload::from_float(&q, &k, 0.2, 12)
+            })
+            .collect()
+    }
+
     #[test]
     fn two_tiles_halve_the_makespan_of_an_even_head_count() {
         let heads = workloads(4, 0.2, 1);
         let model = EnergyModel::calibrated();
-        let two_tiles = schedule_layer(&heads, &TileConfig::ae_leopard(), &model);
+        let two_tiles = schedule_layer(&heads, &TileConfig::ae_leopard(), &model, Placement::Lpt);
         let mut one_tile_cfg = TileConfig::ae_leopard();
         one_tile_cfg.tiles = 1;
-        let one_tile = schedule_layer(&heads, &one_tile_cfg, &model);
+        let one_tile = schedule_layer(&heads, &one_tile_cfg, &model, Placement::Lpt);
         assert_eq!(two_tiles.tiles, 2);
         assert!(two_tiles.makespan_cycles < one_tile.makespan_cycles);
         // Same total work, same energy.
@@ -331,20 +724,166 @@ mod tests {
     }
 
     #[test]
-    fn odd_head_counts_leave_one_tile_busier() {
+    fn odd_head_counts_leave_one_tile_busier_under_static_placement() {
         let heads = workloads(3, 0.2, 2);
         let model = EnergyModel::calibrated();
-        let schedule = schedule_layer(&heads, &TileConfig::ae_leopard(), &model);
+        let schedule = schedule_layer(&heads, &TileConfig::ae_leopard(), &model, Placement::Static);
         assert_eq!(schedule.tile_cycles.len(), 2);
+        // Static places whole heads rank % tiles: two heads on tile 0.
         assert!(schedule.tile_cycles[0] > schedule.tile_cycles[1]);
         assert!(schedule.balance() < 1.0);
+        assert!(
+            schedule.splits.iter().all(|&s| s == 1),
+            "static never splits"
+        );
+    }
+
+    #[test]
+    fn placement_changes_only_the_makespan() {
+        // The conformance contract at unit-test scale: across the three
+        // policies, per-head merged results, energy, and pruning are
+        // bit-identical; only makespan/tile_cycles may move.
+        let heads = ragged_workloads(&[40, 9, 23, 17, 31], 6);
+        let model = EnergyModel::calibrated();
+        let mut config = TileConfig::ae_leopard();
+        config.tiles = 3;
+        let schedules: Vec<LayerSchedule> = Placement::ALL
+            .iter()
+            .map(|&p| schedule_layer(&heads, &config, &model, p))
+            .collect();
+        let baseline: Vec<HeadSimResult> =
+            heads.iter().map(|w| simulate_head(w, &config)).collect();
+        for schedule in &schedules {
+            for (h, tiled) in schedule.heads.iter().enumerate() {
+                assert_eq!(tiled.merged, baseline[h], "head {h} diverged from baseline");
+            }
+            assert_eq!(
+                schedule.energy.total().to_bits(),
+                schedules[0].energy.total().to_bits(),
+                "energy must be bit-identical across policies"
+            );
+            assert_eq!(
+                schedule.pruning_rate.to_bits(),
+                schedules[0].pruning_rate.to_bits(),
+                "pruning must be bit-identical across policies"
+            );
+        }
+    }
+
+    #[test]
+    fn over_tiled_layers_split_the_heaviest_heads() {
+        // 2 heads on 6 tiles: the planner must hand the 4 spare tiles to
+        // the heads by predicted load, heaviest first.
+        let heads = ragged_workloads(&[48, 12], 7);
+        let model = EnergyModel::calibrated();
+        let mut config = TileConfig::ae_leopard();
+        config.tiles = 6;
+        let schedule = schedule_layer(&heads, &config, &model, Placement::Lpt);
+        assert_eq!(schedule.splits.iter().sum::<usize>(), 6, "no tile idles");
+        assert!(
+            schedule.splits[0] > schedule.splits[1],
+            "the heavier head gets the wider split: {:?}",
+            schedule.splits
+        );
+        // Merged accounting survives the splits.
+        for (h, tiled) in schedule.heads.iter().enumerate() {
+            assert_eq!(tiled.merged, simulate_head(&heads[h], &config));
+        }
+    }
+
+    #[test]
+    fn lpt_never_predicts_a_longer_makespan_than_round_robin() {
+        for (lens, tiles) in [
+            (vec![40usize, 9, 23, 17, 31], 2usize),
+            (vec![64, 8, 8, 8], 3),
+            (vec![16; 7], 4),
+            (vec![33], 5),
+        ] {
+            let planned: Vec<PlannedHead> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| PlannedHead {
+                    seq_len: s,
+                    tie_break: i as u64,
+                })
+                .collect();
+            let cost = CostModel::analytical();
+            let config = TileConfig::ae_leopard();
+            let predict =
+                |s: usize, t: usize| cost.predict_head_cycles_tiled("", &config, s, 0.0, t);
+            let lpt = plan_layer(&planned, tiles, Placement::Lpt, predict);
+            let rr = plan_layer(&planned, tiles, Placement::RoundRobin, predict);
+            assert!(
+                lpt.predicted_makespan_cycles() <= rr.predicted_makespan_cycles(),
+                "LPT predicted {} > RR predicted {} for lens {lens:?} on {tiles} tiles",
+                lpt.predicted_makespan_cycles(),
+                rr.predicted_makespan_cycles()
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_the_head_multiset() {
+        let planned: Vec<PlannedHead> = [31usize, 9, 31, 17]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| PlannedHead {
+                seq_len: s,
+                tie_break: 0xABC0 + i as u64,
+            })
+            .collect();
+        let predict = |s: usize, t: usize| (s as u64 * 100) / t as u64;
+        for placement in Placement::ALL {
+            let plan = plan_layer(&planned, 3, placement, predict);
+            let again = plan_layer(&planned, 3, placement, predict);
+            assert_eq!(plan, again, "planning must be deterministic");
+            // Reversed enumeration: same tiles end up with the same
+            // predicted cycles, and each head keeps its shard tiles.
+            let reversed: Vec<PlannedHead> = planned.iter().rev().copied().collect();
+            let plan_rev = plan_layer(&reversed, 3, placement, predict);
+            assert_eq!(plan.predicted_tile_cycles, plan_rev.predicted_tile_cycles);
+            let n = planned.len();
+            for h in 0..n {
+                assert_eq!(
+                    plan.shard_tiles[h],
+                    plan_rev.shard_tiles[n - 1 - h],
+                    "head {h} moved tiles under enumeration reversal ({placement:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_shards_land_on_distinct_tiles() {
+        let planned = vec![PlannedHead {
+            seq_len: 40,
+            tie_break: 1,
+        }];
+        let plan = plan_layer(&planned, 4, Placement::RoundRobin, |s, t| {
+            (s as u64 * 100) / t as u64
+        });
+        assert_eq!(plan.split(0), 4);
+        let mut tiles = plan.shard_tiles[0].clone();
+        tiles.sort_unstable();
+        tiles.dedup();
+        assert_eq!(tiles.len(), 4, "one head's shards must use distinct tiles");
+    }
+
+    #[test]
+    fn placement_labels_round_trip() {
+        for placement in Placement::ALL {
+            assert_eq!(Placement::parse(placement.label()), Ok(placement));
+        }
+        assert_eq!(Placement::parse("round-robin"), Ok(Placement::RoundRobin));
+        assert!(Placement::parse("nope").is_err());
+        assert_eq!(Placement::default(), Placement::Lpt);
     }
 
     #[test]
     fn model_schedule_accumulates_layers() {
         let model = EnergyModel::calibrated();
         let layers = vec![workloads(2, 0.2, 3), workloads(2, 0.2, 4)];
-        let schedule = schedule_model(&layers, &TileConfig::ae_leopard(), &model);
+        let schedule = schedule_model(&layers, &TileConfig::ae_leopard(), &model, Placement::Lpt);
         assert_eq!(schedule.layers.len(), 2);
         assert_eq!(
             schedule.total_cycles(),
@@ -367,8 +906,18 @@ mod tests {
         for w in &mut unpruned {
             w.threshold_int = i64::MIN / 4;
         }
-        let pruned = schedule_model(&pruned_layers, &TileConfig::ae_leopard(), &model);
-        let dense = schedule_model(&[unpruned], &TileConfig::ae_leopard(), &model);
+        let pruned = schedule_model(
+            &pruned_layers,
+            &TileConfig::ae_leopard(),
+            &model,
+            Placement::Lpt,
+        );
+        let dense = schedule_model(
+            &[unpruned],
+            &TileConfig::ae_leopard(),
+            &model,
+            Placement::Lpt,
+        );
         assert!(pruned.total_cycles() < dense.total_cycles());
         assert!(pruned.total_energy() < dense.total_energy());
     }
@@ -376,7 +925,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one attention head")]
     fn empty_layer_panics() {
-        let _ = schedule_layer(&[], &TileConfig::ae_leopard(), &EnergyModel::calibrated());
+        let _ = schedule_layer(
+            &[],
+            &TileConfig::ae_leopard(),
+            &EnergyModel::calibrated(),
+            Placement::Lpt,
+        );
     }
 
     fn one_workload(s: usize, seed: u64) -> HeadWorkload {

@@ -10,14 +10,18 @@
 //! * `leopard task <name>` — run one task (matched by exact name —
 //!   case-insensitively if needed — or case-insensitive substring) and
 //!   print its full result.
-//! * `leopard sweep --param nqk=2..10` — design-space sweep over a tile
-//!   parameter (`nqk`, `serial-bits`, the `qk-bits` quantization-width
-//!   ablation, or the `tiles` multi-tile scaling ablation), reusing cached
-//!   workloads across design points.
+//! * `leopard sweep --param nqk=2..10` — design-space sweep over tile
+//!   parameters (`nqk`, `serial-bits`, the `qk-bits` quantization-width
+//!   ablation, the `tiles` multi-tile scaling ablation, or the `placement`
+//!   policy ablation), reusing cached workloads across design points.
+//!   Repeating `--param` crosses the axes into a full grid (duplicate
+//!   parameter names are rejected).
 //! * `leopard list` — list the suite's tasks.
 //!
 //! Shared flags: `--threads N` (0 = all cores), `--max-seq-len L`,
 //! `--heads H`, `--tiles T` (partition each head across T tiles),
+//! `--placement P` (head→tile placement policy: lpt, rr, or static —
+//! moves only the layer makespan, never merged results),
 //! `--quick` (every 4th task), `--full-scale`,
 //! `--schedule fifo|ljf` (suite and serve), `--json PATH` / `--csv PATH`
 //! for structured reports, and `--trace PATH` / `--metrics PATH` to enable
@@ -39,7 +43,7 @@ use crate::serving::{run_serving, ArrivalProcess, RequestMix, ServingOptions, Se
 use leopard_accel::config::TileConfig;
 use leopard_accel::cost::head_cost;
 use leopard_accel::energy::EnergyModel;
-use leopard_accel::schedule::simulate_head_tiled;
+use leopard_accel::schedule::{schedule_layer, simulate_head_tiled, Placement};
 use leopard_accel::sim::simulate_head;
 use leopard_workloads::pipeline::{PipelineOptions, SimUnitKind};
 use leopard_workloads::suite::{full_suite, quick_subset, TaskDescriptor};
@@ -143,6 +147,11 @@ pub enum SweepParam {
     /// balance; merged results are bit-identical across the sweep by the
     /// tile scheduler's conformance contract.
     Tiles,
+    /// Head→tile placement policy (`lpt`, `rr`, `static`). Values index
+    /// [`Placement::ALL`]; merged results are bit-identical across the
+    /// axis — only the makespan (and its speedup/balance derivatives)
+    /// moves.
+    Placement,
 }
 
 impl SweepParam {
@@ -152,19 +161,55 @@ impl SweepParam {
             SweepParam::SerialBits => "serial-bits",
             SweepParam::QkBits => "qk-bits",
             SweepParam::Tiles => "tiles",
+            SweepParam::Placement => "placement",
+        }
+    }
+
+    /// Renders one design-point value for the sweep table (placement
+    /// values are policy labels, everything else is numeric).
+    fn render(&self, value: u32) -> String {
+        match self {
+            SweepParam::Placement => Placement::ALL[value as usize].label().to_string(),
+            _ => value.to_string(),
         }
     }
 }
 
-/// A parsed `--param` specification.
+/// A parsed sweep: one or more `--param` axes, crossed into a grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepSpec {
-    /// The swept parameter.
-    pub param: SweepParam,
-    /// Design-point values, in sweep order.
-    pub values: Vec<u32>,
+    /// The swept axes in flag order, each with its design-point values.
+    /// Crossed into a cartesian grid; duplicates are rejected at parse.
+    pub params: Vec<(SweepParam, Vec<u32>)>,
     /// Sweep all 43 tasks instead of the representative subset.
     pub all_tasks: bool,
+}
+
+impl SweepSpec {
+    /// Whether any axis schedules tiled execution (and so the table
+    /// reports makespan/speedup/balance instead of V-PU occupancy).
+    fn is_tiled(&self) -> bool {
+        self.params
+            .iter()
+            .any(|(p, _)| matches!(p, SweepParam::Tiles | SweepParam::Placement))
+    }
+
+    /// Cartesian product of the axes, in row-major flag order.
+    fn grid(&self) -> Vec<Vec<u32>> {
+        let mut points: Vec<Vec<u32>> = vec![Vec::new()];
+        for (_, values) in &self.params {
+            let mut next = Vec::with_capacity(points.len() * values.len());
+            for point in &points {
+                for &value in values {
+                    let mut extended = point.clone();
+                    extended.push(value);
+                    next.push(extended);
+                }
+            }
+            points = next;
+        }
+        points
+    }
 }
 
 const USAGE: &str = "\
@@ -175,8 +220,9 @@ USAGE:
     leopard serve [FLAGS]            replay a synthetic request stream and
                                      report latency percentiles
     leopard task <name> [FLAGS]      run one task (exact or substring match)
-    leopard sweep --param P=SPEC     sweep a tile parameter (nqk, serial-bits,
-                                     qk-bits)
+    leopard sweep --param P=SPEC     sweep tile parameters (nqk, serial-bits,
+                                     qk-bits, tiles, placement); repeat
+                                     --param to cross axes into a grid
     leopard list                     list the suite's tasks
     leopard help                     show this message
 
@@ -186,8 +232,13 @@ FLAGS:
     --heads H         attention heads simulated per task (default 1)
     --tiles T         partition each head's Q rows across T tiles (default
                       1; suite results are bit-identical for every T — in
-                      serve mode, service cycles become the per-head tile
-                      makespan)
+                      serve mode, service cycles become the layer makespan)
+    --placement P     head→tile placement policy: lpt (greedy longest-
+                      predicted-first, default), rr (round-robin), or
+                      static (head index mod tile count). Moves only the
+                      makespan — merged results are bit-identical across
+                      policies. Suite, serve, and task; sweeps use
+                      --param placement=... instead
     --quick           keep every 4th task only
     --full-scale      simulate the paper's full sequence lengths (slow;
                       conflicts with --max-seq-len)
@@ -226,6 +277,12 @@ PARAM SPECS:
                                  the operands at each width)
     --param tiles=1..8           tile-count ablation (per-head makespan,
                                  speedup over one tile, load balance)
+    --param placement=lpt,rr,static
+                                 placement-policy ablation (labels only —
+                                 ranges make no sense here)
+    --param tiles=1..8 --param placement=lpt,rr,static
+                                 crossed grid: every tile count under every
+                                 policy (duplicate names are rejected)
 ";
 
 /// Parses `a..b` (inclusive) or `a,b,c` into a value list.
@@ -264,7 +321,8 @@ fn parse_seed(v: &str) -> Result<u64, String> {
     parsed.map_err(|_| format!("bad seed {v:?}"))
 }
 
-/// Parses a `--param` argument such as `nqk=2..10`.
+/// Parses a `--param` argument such as `nqk=2..10` or
+/// `placement=lpt,rr,static`.
 fn parse_param(arg: &str) -> Result<(SweepParam, Vec<u32>), String> {
     let (name, spec) = arg
         .split_once('=')
@@ -274,8 +332,26 @@ fn parse_param(arg: &str) -> Result<(SweepParam, Vec<u32>), String> {
         "serial-bits" | "serial_bits" | "granularity" => SweepParam::SerialBits,
         "qk-bits" | "qk_bits" => SweepParam::QkBits,
         "tiles" => SweepParam::Tiles,
+        "placement" => SweepParam::Placement,
         other => return Err(format!("unknown sweep parameter {other:?}")),
     };
+    // The placement axis takes policy labels, not numbers: values are
+    // indices into `Placement::ALL` so the grid machinery stays uniform.
+    if param == SweepParam::Placement {
+        if spec.contains("..") {
+            return Err(
+                "placement takes a comma list of policies (lpt,rr,static), not a range".to_string(),
+            );
+        }
+        let values: Vec<u32> = spec
+            .split(',')
+            .map(|v| Placement::parse(v.trim()).map(|policy| policy.index() as u32))
+            .collect::<Result<_, String>>()?;
+        if values.is_empty() {
+            return Err("sweep needs at least one value".to_string());
+        }
+        return Ok((param, values));
+    }
     let values = parse_values(spec)?;
     if values.is_empty() {
         return Err("sweep needs at least one value".to_string());
@@ -286,6 +362,7 @@ fn parse_param(arg: &str) -> Result<(SweepParam, Vec<u32>), String> {
             SweepParam::SerialBits => (1..=12).contains(&v),
             SweepParam::QkBits => (4..=16).contains(&v),
             SweepParam::Tiles => (1..=64).contains(&v),
+            SweepParam::Placement => unreachable!("handled above"),
         };
         if !ok {
             return Err(format!("value {v} out of range for {}", param.label()));
@@ -304,11 +381,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut common = CommonOptions::default();
     let mut serve = ServeSpec::default();
     let mut task_name: Option<String> = None;
-    let mut sweep: Option<(SweepParam, Vec<u32>)> = None;
+    let mut sweep_params: Vec<(SweepParam, Vec<u32>)> = Vec::new();
     let mut all_tasks = false;
     let mut schedule_set = false;
     let mut max_seq_len_set = false;
     let mut tiles_set = false;
+    let mut placement_set = false;
     let mut full_scale = false;
     let mut serve_flag_seen: Option<&'static str> = None;
 
@@ -344,6 +422,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
                 tiles_set = true;
             }
+            "--placement" => {
+                common.pipeline.placement = Placement::parse(&take_value(&mut it, "--placement")?)?;
+                placement_set = true;
+            }
             "--quick" => common.quick = true,
             "--full-scale" => {
                 common.pipeline.max_sim_seq_len = usize::MAX;
@@ -357,7 +439,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--csv" => common.csv_path = Some(take_value(&mut it, "--csv")?),
             "--trace" => common.trace_path = Some(take_value(&mut it, "--trace")?),
             "--metrics" => common.metrics_path = Some(take_value(&mut it, "--metrics")?),
-            "--param" => sweep = Some(parse_param(&take_value(&mut it, "--param")?)?),
+            "--param" => {
+                let (param, values) = parse_param(&take_value(&mut it, "--param")?)?;
+                if sweep_params.iter().any(|(p, _)| *p == param) {
+                    return Err(format!(
+                        "duplicate --param {}: each parameter may be swept once (its values \
+                         already cross with the other axes)",
+                        param.label()
+                    ));
+                }
+                sweep_params.push((param, values));
+            }
             "--all-tasks" => all_tasks = true,
             "--requests" => {
                 let v = take_value(&mut it, "--requests")?;
@@ -458,13 +550,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::Task(name, common))
         }
         "sweep" => {
-            let (param, values) = sweep.ok_or("`leopard sweep` expects --param name=values")?;
+            if sweep_params.is_empty() {
+                return Err("`leopard sweep` expects --param name=values".to_string());
+            }
+            let sweeps_tiles = sweep_params.iter().any(|(p, _)| *p == SweepParam::Tiles);
             if tiles_set {
                 // Reject rather than silently ignore (same convention as
                 // --heads/--quick below): a nqk/serial-bits/qk-bits sweep
                 // simulates single-tile, and a tiles sweep sets the tile
                 // count per design point itself.
-                return Err(if param == SweepParam::Tiles {
+                return Err(if sweeps_tiles {
                     "--tiles conflicts with `--param tiles=...`: the sweep sets the tile \
                      count per design point"
                         .to_string()
@@ -473,6 +568,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                      (use `--param tiles=...` to ablate the tile count)"
                         .to_string()
                 });
+            }
+            if placement_set {
+                return Err(
+                    "`leopard sweep` takes the placement policy per design point; use \
+                     `--param placement=lpt,rr,static` instead of --placement"
+                        .to_string(),
+                );
             }
             // Reject flags the sweep would silently ignore: it simulates
             // head 0 of each task and prints its own table.
@@ -499,8 +601,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Sweep(
                 SweepSpec {
-                    param,
-                    values,
+                    params: sweep_params,
                     all_tasks,
                 },
                 common,
@@ -644,7 +745,7 @@ fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), Str
         .map_or_else(|| "none".to_string(), |s| format!("{s} cycles"));
     println!(
         "serving {} requests at {:.0} req/s ({} arrivals, {} mix, {} schedule, slo {}, {} \
-         servers x {} tile(s), seed {:#x}) on {} worker threads...",
+         servers x {} tile(s), {} placement, seed {:#x}) on {} worker threads...",
         options.requests,
         options.rate_rps,
         options.arrivals.label(),
@@ -653,6 +754,7 @@ fn run_serve_command(spec: &ServeSpec, common: &CommonOptions) -> Result<(), Str
         slo,
         options.servers,
         options.pipeline.tiles.max(1),
+        options.pipeline.placement.label(),
         options.seed,
         runner.threads(),
     );
@@ -835,65 +937,112 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
         representative_tasks()
     };
     let runner = SuiteRunner::new(common.threads);
+    let axes: Vec<String> = spec
+        .params
+        .iter()
+        .map(|(param, values)| {
+            let rendered: Vec<String> = values.iter().map(|&v| param.render(v)).collect();
+            format!("{}={}", param.label(), rendered.join(","))
+        })
+        .collect();
+    let grid = spec.grid();
     println!(
-        "sweeping {} over {:?} on {} tasks, {} threads",
-        spec.param.label(),
-        spec.values,
+        "sweeping {} ({} design points) on {} tasks, {} threads",
+        axes.join(" x "),
+        grid.len(),
         tasks.len(),
         runner.threads(),
     );
-    if spec.param == SweepParam::Tiles {
+    // One leading column per swept axis; the metric columns depend on
+    // whether any axis schedules tiled execution.
+    let mut header = String::new();
+    for (param, _) in &spec.params {
+        use std::fmt::Write as _;
+        let _ = write!(header, "{:>12} ", param.label());
+    }
+    if spec.is_tiled() {
         println!(
-            "\n{:>12} {:>14} {:>12} {:>12} {:>12}",
-            "tiles", "makespan cyc", "speedup", "balance", "prune rate"
+            "\n{header}{:>14} {:>12} {:>12} {:>12}",
+            "makespan cyc", "speedup", "balance", "prune rate"
         );
     } else {
         println!(
-            "\n{:>12} {:>12} {:>12} {:>12} {:>12}",
-            spec.param.label(),
-            "V-PU demand",
-            "V-PU util",
-            "mean cycles",
-            "prune rate"
+            "\n{header}{:>12} {:>12} {:>12} {:>12}",
+            "V-PU demand", "V-PU util", "mean cycles", "prune rate"
         );
     }
 
     // lint:allow(wall-clock-in-virtual-path, reason = "wall-seconds footer for the sweep table; simulated results never read it")
     let start = std::time::Instant::now();
-    for &value in &spec.values {
-        let param = spec.param;
+    for point in &grid {
+        // Resolve this design point: overlay each axis value on the
+        // AE-LeOPArd base configuration. qk-bits re-quantizes the operands
+        // (one workload-cache entry per width); every other axis reuses
+        // one workload per task across the whole grid.
+        let mut config = TileConfig::ae_leopard();
+        let mut pipeline = common.pipeline;
+        let mut placement = pipeline.placement;
+        for ((param, _), &value) in spec.params.iter().zip(point.iter()) {
+            match param {
+                SweepParam::NQk => config = config.with_n_qk(value as usize),
+                SweepParam::SerialBits => config = config.with_serial_bits(value),
+                SweepParam::QkBits => {
+                    config = config.with_qk_bits(value);
+                    pipeline.qk_bits = value;
+                }
+                SweepParam::Tiles => config.tiles = value as usize,
+                SweepParam::Placement => placement = Placement::ALL[value as usize],
+            }
+        }
+        let mut cells = String::new();
+        for ((param, _), &value) in spec.params.iter().zip(point.iter()) {
+            use std::fmt::Write as _;
+            let _ = write!(cells, "{:>12} ", param.render(value));
+        }
         let cache = Arc::clone(runner.cache());
-        // qk-bits sweeps re-quantize the operands at each design point; the
-        // other parameters reuse one workload per task across the sweep.
-        let pipeline = match param {
-            SweepParam::QkBits => PipelineOptions {
-                qk_bits: value,
-                ..common.pipeline
-            },
-            _ => common.pipeline,
-        };
-        if param == SweepParam::Tiles {
-            // Tile-count ablation: partition each head across `value`
-            // tiles and report the parallel makespan, the cycle-level
-            // speedup over single-tile execution, and the load balance.
-            // Merged accounting is bit-identical across design points by
-            // the conformance contract, so pruning never moves.
+        if spec.is_tiled() {
+            // Tiled ablation: schedule each task's head-0 layer across
+            // `config.tiles` tiles under the point's placement policy and
+            // report the makespan, the cycle-level speedup over
+            // single-tile execution, and the load balance. Merged
+            // accounting is bit-identical across design points by the
+            // conformance contract, so pruning never moves. A tiles-only
+            // sweep keeps the historical per-head split (the lpt default
+            // splits a lone head across every tile, exactly what
+            // `simulate_head_tiled` did); the placement axis shows up as
+            // a makespan/balance difference (static cannot split a head).
+            let tiles = config.tiles.max(1);
             let rows = parallel_map(runner.pool(), tasks.clone(), move |_, task| {
                 let workload = cache.head_workload(task, &pipeline, 0);
-                let tiled =
-                    simulate_head_tiled(&workload, &TileConfig::ae_leopard(), value as usize);
-                (
-                    tiled.makespan_cycles() as f64,
-                    tiled.tile_speedup(),
-                    tiled.balance(),
-                    tiled.merged.pruning_rate(),
-                )
+                if placement == Placement::Lpt {
+                    let tiled = simulate_head_tiled(&workload, &config, tiles);
+                    (
+                        tiled.makespan_cycles() as f64,
+                        tiled.tile_speedup(),
+                        tiled.balance(),
+                        tiled.merged.pruning_rate(),
+                    )
+                } else {
+                    let schedule = schedule_layer(
+                        std::slice::from_ref(&workload),
+                        &config,
+                        &EnergyModel::calibrated(),
+                        placement,
+                    );
+                    let serial = schedule.heads[0].merged.total_cycles as f64;
+                    let makespan = schedule.makespan_cycles.max(1) as f64;
+                    (
+                        makespan,
+                        serial / makespan,
+                        schedule.balance(),
+                        schedule.pruning_rate,
+                    )
+                }
             });
             let n = rows.len() as f64;
             let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / n;
             println!(
-                "{:>12} {:>14.0} {:>11.2}x {:>11.1}% {:>11.1}%",
-                value,
+                "{cells}{:>14.0} {:>11.2}x {:>11.1}% {:>11.1}%",
                 mean(|r| r.0),
                 mean(|r| r.1),
                 mean(|r| r.2) * 100.0,
@@ -903,12 +1052,6 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
         }
         let rows = parallel_map(runner.pool(), tasks.clone(), move |_, task| {
             let workload = cache.head_workload(task, &pipeline, 0);
-            let config = match param {
-                SweepParam::NQk => TileConfig::ae_leopard().with_n_qk(value as usize),
-                SweepParam::SerialBits => TileConfig::ae_leopard().with_serial_bits(value),
-                SweepParam::QkBits => TileConfig::ae_leopard().with_qk_bits(value),
-                SweepParam::Tiles => unreachable!("handled above"),
-            };
             let sim = simulate_head(&workload, &config);
             (
                 sim.vpu_demand,
@@ -920,8 +1063,7 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
         let n = rows.len() as f64;
         let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / n;
         println!(
-            "{:>12} {:>11.1}% {:>11.1}% {:>12.0} {:>11.1}%",
-            value,
+            "{cells}{:>11.1}% {:>11.1}% {:>12.0} {:>11.1}%",
             mean(|r| r.0) * 100.0,
             mean(|r| r.1) * 100.0,
             mean(|r| r.2),
@@ -931,7 +1073,7 @@ fn run_sweep_command(spec: &SweepSpec, common: &CommonOptions) -> Result<(), Str
     print_run_footer(
         &format!(
             "swept {} design points in {:.3}s",
-            spec.values.len(),
+            grid.len(),
             start.elapsed().as_secs_f64(),
         ),
         runner.cache().stats(),
@@ -1050,8 +1192,9 @@ mod tests {
         assert!(parse_param("qk-bits=17").is_err(), "17 bits is too wide");
         match parse(&args(&["sweep", "--param", "qk-bits=4..12"])).unwrap() {
             Command::Sweep(spec, _) => {
-                assert_eq!(spec.param, SweepParam::QkBits);
-                assert_eq!(spec.values.len(), 9);
+                assert_eq!(spec.params.len(), 1);
+                assert_eq!(spec.params[0].0, SweepParam::QkBits);
+                assert_eq!(spec.params[0].1.len(), 9);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1113,6 +1256,140 @@ mod tests {
             "1",
         ]))
         .expect("tiles sweep should run");
+    }
+
+    #[test]
+    fn parses_placement_flag_on_suite_serve_and_task() {
+        match parse(&args(&["suite", "--placement", "rr"])).unwrap() {
+            Command::Suite(common) => {
+                assert_eq!(common.pipeline.placement, Placement::RoundRobin)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args(&["serve", "--placement", "static"])).unwrap() {
+            Command::Serve(_, common) => {
+                assert_eq!(common.pipeline.placement, Placement::Static)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args(&["task", "x", "--placement", "greedy"])).unwrap() {
+            Command::Task(_, common) => assert_eq!(common.pipeline.placement, Placement::Lpt),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The default is greedy LPT.
+        match parse(&args(&["suite"])).unwrap() {
+            Command::Suite(common) => assert_eq!(common.pipeline.placement, Placement::Lpt),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bad values and a missing value are errors, not panics.
+        assert!(parse(&args(&["suite", "--placement", "zebra"])).is_err());
+        assert!(parse(&args(&["suite", "--placement"])).is_err());
+        // Sweeps take the policy per design point instead.
+        let err = parse(&args(&[
+            "sweep",
+            "--param",
+            "tiles=1..4",
+            "--placement",
+            "rr",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--param placement"), "{err}");
+    }
+
+    #[test]
+    fn parses_placement_sweep_values_as_policy_labels() {
+        assert_eq!(
+            parse_param("placement=lpt,rr,static").unwrap(),
+            (SweepParam::Placement, vec![0, 1, 2])
+        );
+        assert_eq!(
+            parse_param("placement=static").unwrap(),
+            (SweepParam::Placement, vec![2])
+        );
+        // Aliases resolve like the --placement flag does.
+        assert_eq!(
+            parse_param("placement=greedy,round-robin").unwrap(),
+            (SweepParam::Placement, vec![0, 1])
+        );
+        let err = parse_param("placement=1..3").unwrap_err();
+        assert!(err.contains("comma list"), "{err}");
+        assert!(parse_param("placement=zebra").is_err());
+    }
+
+    #[test]
+    fn crossed_sweep_params_parse_and_duplicates_are_rejected() {
+        match parse(&args(&[
+            "sweep",
+            "--param",
+            "tiles=1..8",
+            "--param",
+            "placement=lpt,rr,static",
+        ]))
+        .unwrap()
+        {
+            Command::Sweep(spec, _) => {
+                assert_eq!(spec.params.len(), 2);
+                assert_eq!(spec.params[0].0, SweepParam::Tiles);
+                assert_eq!(spec.params[1].0, SweepParam::Placement);
+                // Row-major cross: 8 tile counts x 3 policies.
+                assert_eq!(spec.grid().len(), 24);
+                assert_eq!(spec.grid()[0], vec![1, 0]);
+                assert_eq!(spec.grid()[23], vec![8, 2]);
+                assert!(spec.is_tiled());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&args(&[
+            "sweep",
+            "--param",
+            "tiles=1..4",
+            "--param",
+            "tiles=2,8",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("duplicate --param tiles"), "{err}");
+        // Duplicates are caught by name even with different value specs.
+        let err = parse(&args(&[
+            "sweep",
+            "--param",
+            "qk-bits=4,8",
+            "--param",
+            "qk_bits=12",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("duplicate --param qk-bits"), "{err}");
+        // A non-tiled pair crosses too, and reports the unit table.
+        match parse(&args(&[
+            "sweep",
+            "--param",
+            "nqk=2,4",
+            "--param",
+            "serial-bits=1,2",
+        ]))
+        .unwrap()
+        {
+            Command::Sweep(spec, _) => {
+                assert_eq!(spec.grid().len(), 4);
+                assert!(!spec.is_tiled());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crossed_tiles_placement_sweep_runs_end_to_end() {
+        run(&args(&[
+            "sweep",
+            "--param",
+            "tiles=1,4",
+            "--param",
+            "placement=lpt,static",
+            "--max-seq-len",
+            "16",
+            "--threads",
+            "1",
+        ]))
+        .expect("crossed sweep should run");
     }
 
     #[test]

@@ -12,20 +12,23 @@
 //!
 //! Build jobs construct (or fetch from the [`WorkloadCache`]) the quantized
 //! head workload and then spawn the per-configuration simulation units onto
-//! the worker's local queue. Each unit fans out one level further: with
-//! [`PipelineOptions::tiles`] set to `T`, a unit becomes `T` **tile-shard
-//! jobs** (contiguous Q-row ranges from [`TilePartition`]), so the
-//! engine parallelizes *within* a head the way the paper's accelerator
-//! partitions work across its tiles. The job that completes a task's last
-//! shard merges every unit's shards ([`merge_head_shards`]) and
-//! runs the aggregation. Aggregation consumes the units in head order and
-//! runs exactly the same arithmetic as the serial
-//! [`run_task`](leopard_workloads::pipeline::run_task), so results are
-//! **bit-identical** for any thread count *and any tile count* —
-//! parallelism only changes *when* a shard runs, never what it computes,
-//! because every shard is a pure function of `(task, options, head, kind,
-//! tile)` with a fixed per-head seed, and the shard merge reconstructs the
-//! single-tile accounting exactly.
+//! the worker's local queue. Each unit fans out one level further, following
+//! the task's **layer plan**
+//! ([`plan_task_layer`]): the
+//! placement policy assigns every head a tile split (whole heads while
+//! `heads >= tiles`, load-predicted splits when tiles would idle), and a
+//! unit becomes one **tile-shard job** per planned shard (contiguous Q-row
+//! ranges from [`TilePartition`]), so the engine parallelizes *within* a
+//! head the way the paper's accelerator partitions work across its tiles.
+//! The job that completes a task's last shard merges every unit's shards
+//! ([`merge_head_shards`]) and runs the aggregation. Aggregation consumes
+//! the units in head order and runs exactly the same arithmetic as the
+//! serial [`run_task`](leopard_workloads::pipeline::run_task), so results
+//! are **bit-identical** for any thread count, any tile count, *and any
+//! placement policy* — scheduling only changes *when* a shard runs, never
+//! what it computes, because every shard is a pure function of `(task,
+//! options, head, kind, shard)` with a fixed per-head seed, and the shard
+//! merge reconstructs the single-tile accounting exactly.
 //!
 //! Per-stage wall-clock totals (build / simulate / aggregate) are
 //! accumulated with atomics and reported alongside the results.
@@ -34,11 +37,11 @@ use crate::cache::{CacheStats, WorkloadCache};
 use crate::pool::{default_threads, ThreadPool};
 use crate::sched::{submission_order, SchedulePolicy};
 use crate::telemetry::{MetricsSnapshot, Telemetry};
-use leopard_accel::schedule::{merge_head_shards, TilePartition};
+use leopard_accel::schedule::{merge_head_shards, LayerPlan, TilePartition};
 use leopard_accel::sim::TileShardSim;
 use leopard_workloads::pipeline::{
-    aggregate_task, predict_task_cycles, simulate_unit_shard, HeadUnitResults, PipelineOptions,
-    SimUnitKind, TaskResult,
+    aggregate_task, plan_task_layer, predict_task_cycles, simulate_unit_shard, HeadUnitResults,
+    PipelineOptions, SimUnitKind, TaskResult,
 };
 use leopard_workloads::suite::TaskDescriptor;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -114,40 +117,45 @@ pub struct SuiteReport {
 struct TaskState {
     task: TaskDescriptor,
     heads: usize,
-    /// Tiles each unit's Q rows are partitioned across.
-    tiles: usize,
-    /// `heads * 4 * tiles` shard slots, indexed
-    /// `(head * 4 + kind.index()) * tiles + tile`.
+    /// The task's head→tile placement: per head, the tile split (shard
+    /// count) and the tiles the shards land on. Pure function of `(task,
+    /// options)`, so every thread count spawns the same shard jobs.
+    plan: LayerPlan,
+    /// Per head, the base slot index of its `4 * split` shard slots.
+    offsets: Vec<usize>,
+    /// `4 * sum(splits)` shard slots, indexed
+    /// `offsets[head] + kind.index() * split + shard`.
     slots: Vec<Mutex<Option<TileShardSim>>>,
     remaining: AtomicUsize,
 }
 
 impl TaskState {
-    fn slot_index(&self, head: usize, kind: SimUnitKind, tile: usize) -> usize {
-        (head * SimUnitKind::ALL.len() + kind.index()) * self.tiles + tile
+    fn slot_index(&self, head: usize, kind: SimUnitKind, shard: usize) -> usize {
+        self.offsets[head] + kind.index() * self.plan.split(head) + shard
     }
 
     /// Reassembles every unit from its tile shards (merge order is fixed by
-    /// tile index, so the merged results are independent of execution
+    /// shard index, so the merged results are independent of execution
     /// order) and groups them per head.
     fn assemble_heads(&self) -> Vec<HeadUnitResults> {
         (0..self.heads)
             .map(|head| {
+                let split = self.plan.split(head);
                 let units: Vec<Option<_>> = SimUnitKind::ALL
                     .iter()
                     .map(|kind| {
-                        let shards: Vec<TileShardSim> = (0..self.tiles)
-                            .map(|tile| {
-                                self.slots[self.slot_index(head, *kind, tile)]
+                        let shards: Vec<TileShardSim> = (0..split)
+                            .map(|shard| {
+                                self.slots[self.slot_index(head, *kind, shard)]
                                     .lock()
                                     // lint:allow(panic-in-library, reason = "a poisoned slot means a simulation worker panicked; propagating is the only sound recovery")
                                     .expect("slot poisoned")
                                     .take()
                                     // lint:allow(panic-in-library, reason = "the remaining-counter protocol guarantees every shard slot is filled before assembly; a missing shard is a scheduler bug, not an input error")
-                                    .unwrap_or_else(|| panic!("missing shard {tile} for {kind:?}"))
+                                    .unwrap_or_else(|| panic!("missing shard {shard} for {kind:?}"))
                             })
                             .collect();
-                        Some(merge_head_shards(self.tiles, &shards).merged)
+                        Some(merge_head_shards(split, &shards).merged)
                     })
                     .collect();
                 HeadUnitResults::from_indexed(units)
@@ -259,6 +267,10 @@ impl SuiteRunner {
         let heads = options.heads.max(1);
         let tiles = options.tiles.max(1);
         let unit_count = SimUnitKind::ALL.len();
+        // The placement is planned against the serving configuration's cost
+        // constants; only *relative* predicted loads matter for the shard
+        // decomposition, and merged results are split-independent anyway.
+        let plan_config = SimUnitKind::AeLeopard.tile_config();
 
         let costs: Vec<u64> = tasks
             .iter()
@@ -267,11 +279,20 @@ impl SuiteRunner {
         let (tx, rx) = std::sync::mpsc::channel::<(usize, TaskResult)>();
         for task_index in submission_order(&costs, policy) {
             let task = &tasks[task_index];
-            let slot_count = heads * unit_count * tiles;
+            let plan = plan_task_layer(task, options, &plan_config, tiles);
+            let total_split: usize = (0..heads).map(|head| plan.split(head)).sum();
+            let slot_count = unit_count * total_split;
+            let mut offsets = Vec::with_capacity(heads);
+            let mut offset = 0usize;
+            for head in 0..heads {
+                offsets.push(offset);
+                offset += unit_count * plan.split(head);
+            }
             let state = Arc::new(TaskState {
                 task: task.clone(),
                 heads,
-                tiles,
+                plan,
+                offsets,
                 slots: (0..slot_count).map(|_| Mutex::new(None)).collect(),
                 remaining: AtomicUsize::new(slot_count),
             });
@@ -350,27 +371,32 @@ impl SuiteRunner {
                 t.metrics().incr("suite.jobs.build", 1);
             }
 
-            // Sub-DAG fan-out: one shard job per (unit kind, tile). The
-            // partition is a pure function of the workload's sequence
-            // length and the tile count, so every thread count spawns the
-            // same shards; merge order is fixed by tile index.
-            let partition = TilePartition::new(workload.seq_len(), state.tiles);
+            // Sub-DAG fan-out: one shard job per (unit kind, planned
+            // shard). The plan — and with it the partition — is a pure
+            // function of `(task, options)`, so every thread count spawns
+            // the same shards; merge order is fixed by shard index.
+            let split = state.plan.split(head);
+            let partition = TilePartition::new(workload.seq_len(), split);
             for kind in SimUnitKind::ALL {
-                for tile in 0..state.tiles {
+                for shard in 0..split {
                     let state = Arc::clone(&state);
                     let workload = Arc::clone(&workload);
                     let tx = tx.clone();
                     let clocks = Arc::clone(&clocks);
                     let jobs = Arc::clone(&jobs);
-                    let rows = partition.range(tile);
+                    let rows = partition.range(shard);
                     let telemetry = telemetry.clone();
                     spawner.spawn(move || {
                         jobs.fetch_add(1, Ordering::Relaxed);
                         // lint:allow(wall-clock-in-virtual-path, reason = "wall-seconds stage timing for the report footer and telemetry spans; simulated cycle results never read it")
                         let sim_start = Instant::now();
-                        let shard = simulate_unit_shard(&workload, kind, rows);
+                        let result = simulate_unit_shard(&workload, kind, rows);
                         StageClocks::charge(&clocks.simulate_ns, sim_start);
                         if let Some(t) = &telemetry {
+                            // The planned physical tile, not the shard
+                            // index: per-tile busy accounting follows the
+                            // placement.
+                            let tile = state.plan.shard_tiles[head][shard];
                             t.record_wall_span(
                                 "sim",
                                 state.task.name.clone(),
@@ -386,22 +412,22 @@ impl SuiteRunner {
                             metrics.incr("suite.jobs.sim", 1);
                             metrics.incr(
                                 &format!("suite.tile{tile:02}.busy_cycles"),
-                                shard.standalone_cycles(),
+                                result.standalone_cycles(),
                             );
-                            let mix = shard.outcome_mix();
+                            let mix = result.outcome_mix();
                             metrics.incr("kernel.outcomes.early_terminated", mix.early_terminated);
                             metrics.incr(
                                 "kernel.outcomes.full_precision_pruned",
                                 mix.full_precision_pruned,
                             );
                             metrics.incr("kernel.outcomes.surviving", mix.surviving);
-                            metrics.merge_indexed("kernel.bits_processed", &shard.bits_histogram);
+                            metrics.merge_indexed("kernel.bits_processed", &result.bits_histogram);
                         }
 
-                        *state.slots[state.slot_index(head, kind, tile)]
+                        *state.slots[state.slot_index(head, kind, shard)]
                             .lock()
                             // lint:allow(panic-in-library, reason = "a poisoned slot means a simulation worker panicked; propagating is the only sound recovery")
-                            .expect("slot poisoned") = Some(shard);
+                            .expect("slot poisoned") = Some(result);
                         if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
                             // Last shard of the task: merge and aggregate
                             // right here (the slots are complete and this
@@ -538,6 +564,29 @@ mod tests {
                 // 3 tasks x (1 build + 4 units x tiles shards + 1 aggregate).
                 assert_eq!(report.jobs, 3 * (1 + 4 * tiles + 1));
             }
+        }
+    }
+
+    #[test]
+    fn placement_policies_change_job_decomposition_but_not_results() {
+        // The layer scheduler's engine-level contract: the placement policy
+        // reshapes the shard sub-DAG (static keeps heads whole; lpt/rr
+        // split an under-subscribed layer across the idle tiles) but every
+        // policy reproduces the serial pipeline bit-identically.
+        use leopard_accel::schedule::Placement;
+        let tasks: Vec<_> = full_suite().into_iter().take(2).collect();
+        let serial: Vec<TaskResult> = tasks.iter().map(|t| run_task(t, &quick())).collect();
+        for placement in Placement::ALL {
+            let options = PipelineOptions {
+                tiles: 4,
+                placement,
+                ..quick()
+            };
+            let report = run_suite_parallel(&tasks, &options, 4);
+            assert_eq!(report.results, serial, "{placement:?} diverged from serial");
+            let split = if placement == Placement::Static { 1 } else { 4 };
+            // 2 tasks x (1 build + 4 units x split shards + 1 aggregate).
+            assert_eq!(report.jobs, 2 * (1 + 4 * split + 1), "{placement:?}");
         }
     }
 

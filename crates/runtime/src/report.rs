@@ -253,6 +253,7 @@ pub fn serving_report_json(report: &ServingReport) -> String {
     );
     let _ = writeln!(out, "  \"servers\": {},", report.servers);
     let _ = writeln!(out, "  \"tiles\": {},", report.tiles);
+    let _ = writeln!(out, "  \"placement\": \"{}\",", report.placement.label());
     let _ = writeln!(out, "  \"threads\": {},", report.threads);
     let _ = writeln!(out, "  \"frequency_mhz\": {},", report.frequency_mhz);
     let _ = writeln!(out, "  \"offered\": {},", report.offered());
@@ -373,13 +374,14 @@ pub fn serving_summary(report: &ServingReport) -> String {
     let _ = writeln!(
         out,
         "latency at the {} MHz tile clock ({} schedule, {} arrivals, {} mix, {} servers x \
-         {} tile(s)):",
+         {} tile(s), {} placement):",
         report.frequency_mhz,
         report.policy.label(),
         report.arrivals.label(),
         report.mix_label,
         report.servers,
-        report.tiles
+        report.tiles,
+        report.placement.label()
     );
     for (label, value) in [
         ("p50", latency.p50_us),
@@ -589,6 +591,7 @@ mod tests {
         let json = serving_report_json(&report);
         for key in [
             "\"policy\": \"ljf\"",
+            "\"placement\": \"lpt\"",
             "\"arrivals\": \"steady\"",
             "\"mix\": \"uniform\"",
             "\"slo_cycles\": null",
@@ -613,6 +616,7 @@ mod tests {
             "throughput",
             "queue depth",
             "time-weighted",
+            "lpt placement",
             "tile00",
             "mean tile utilization",
             "fragmentation",

@@ -17,23 +17,26 @@
 //! 1. **Execute** — every distinct task in the request mix is simulated on
 //!    the work-stealing pool (all heads on the serving tile configuration,
 //!    workloads via the shared [`WorkloadCache`](crate::cache)). This
-//!    yields each request's ground-truth *service* cycles. A request no
-//!    longer occupies an opaque virtual server for its single-tile cycle
-//!    count: each dispatch slot models an accelerator whose
-//!    [`PipelineOptions::tiles`] tiles split every head's Q rows, so the
-//!    service time is the per-head tile **makespan** (from
-//!    [`simulate_head_tiled`] — merged accounting stays bit-identical to
-//!    single-tile execution; only the parallel latency changes).
-//!    Simulation is a pure function of the task, so this phase
-//!    parallelizes freely.
+//!    yields each request's ground-truth *service* cycles: the **layer
+//!    makespan** of the task's head→tile placement
+//!    ([`plan_task_layer`] under [`PipelineOptions::placement`] across
+//!    [`PipelineOptions::tiles`] tiles — heads whole while they
+//!    outnumber tiles, load-predicted Q-row splits when tiles would idle).
+//!    Shard simulation goes through [`simulate_head_tiled`], so merged
+//!    per-request accounting stays bit-identical to single-tile execution
+//!    for every tile count and placement policy; only the makespan — the
+//!    scheduled quantity — changes. Simulation is a pure function of the
+//!    task, so this phase parallelizes freely.
 //! 2. **Replay** — a single-threaded discrete-event loop replays the
 //!    arrival process against `servers` virtual tiles on a virtual cycle
 //!    clock: requests are admitted at their arrival cycle, the policy picks
-//!    the next request whenever a tile frees up (ordering by *predicted*
-//!    cycles from the fitted cost model — the scheduler never sees ground
-//!    truth), the SLO controller sheds a picked request if its predicted
-//!    completion misses the deadline, and each dispatch occupies the tile
-//!    for the request's service cycles.
+//!    the next request whenever enough tiles free up (ordering by
+//!    *predicted* cycles from the fitted cost model — the scheduler never
+//!    sees ground truth), the SLO controller sheds a picked request if its
+//!    predicted completion misses the deadline, and each dispatch occupies
+//!    a **gang** of `min(tiles, servers)` tiles for the request's layer
+//!    makespan — concurrent requests share the chip's tiles instead of
+//!    each request owning an opaque server.
 //!
 //! Latency is therefore accounted in simulated cycles, not wall-clock time:
 //! worker threads only change how fast phase 1 runs, never a single number
@@ -46,10 +49,10 @@ use crate::pool::parallel_map;
 use crate::sched::{PredictedJob, ReadyQueue, SchedulePolicy};
 use crate::telemetry::MetricsSnapshot;
 use leopard_accel::config::TileConfig;
-use leopard_accel::schedule::simulate_head_tiled;
+use leopard_accel::schedule::{simulate_head_tiled, Placement};
 use leopard_tensor::rng;
 use leopard_transformer::config::ModelFamily;
-use leopard_workloads::pipeline::{predict_serving_cycles_tiled, PipelineOptions};
+use leopard_workloads::pipeline::{plan_task_layer, PipelineOptions};
 use leopard_workloads::suite::TaskDescriptor;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -501,6 +504,10 @@ pub struct ServingReport {
     /// Tiles each request's heads were partitioned across (the per-request
     /// tile schedule; 1 is the single-tile legacy model).
     pub tiles: usize,
+    /// Head→tile placement policy of the per-request layer schedule.
+    /// Placement only moves the layer makespan (and with it start/finish
+    /// cycles); per-request service accounting is policy-independent.
+    pub placement: Placement,
     /// Tile clock, for converting cycles to time.
     pub frequency_mhz: u32,
     /// Per-request accounting of the *admitted* requests, in request-id
@@ -513,7 +520,10 @@ pub struct ServingReport {
     /// Virtual-clock time-series of queue depth and in-flight requests,
     /// one sample per settled clock instant where either changed.
     pub series: Vec<ReplaySample>,
-    /// Σ service cycles dispatched to each tile, indexed by tile.
+    /// Cycles each tile was reserved by dispatched requests, indexed by
+    /// tile. A request's gang reserves `min(tiles, servers)` tiles for its
+    /// whole layer makespan, so with multi-tile requests the total exceeds
+    /// the summed service cycles by exactly the gang size.
     pub tile_busy_cycles: Vec<u64>,
     /// ∫ queue-depth d(cycles) over the replay — the numerator of
     /// [`time_weighted_mean_queue_depth`](Self::time_weighted_mean_queue_depth).
@@ -820,6 +830,23 @@ pub fn generate_requests(suite: &[TaskDescriptor], options: &ServingOptions) -> 
         .collect()
 }
 
+/// The cheapest gang of `take` tiles by `(free_at, index)` and the instant
+/// the whole gang is free (the maximum of the chosen tiles' free times).
+/// Deterministic: ties always resolve toward the lower tile index. With
+/// `take == 1` this is exactly "the first tile to free up" of the legacy
+/// one-request-per-server model.
+fn free_tile_gang(tile_free_at: &[u64], take: usize) -> (Vec<usize>, u64) {
+    let mut order: Vec<usize> = (0..tile_free_at.len()).collect();
+    order.sort_by_key(|&tile| (tile_free_at[tile], tile));
+    let gang: Vec<usize> = order[..take].to_vec();
+    let ready_at = gang
+        .iter()
+        .map(|&tile| tile_free_at[tile])
+        .max()
+        .unwrap_or(0);
+    (gang, ready_at)
+}
+
 /// Runs a serving workload on the runner's pool and cache and returns the
 /// full cycle-accounted report. See the module docs for the two-phase
 /// design; the short version is that `runner.threads()` changes only
@@ -841,9 +868,11 @@ pub fn run_serving(
 
     // --- Phase 1: execute. Ground-truth service cycles per *distinct* task
     // (requests repeating a task share the result), in parallel on the
-    // pool. Service time is the per-head makespan of the request's tile
-    // schedule: each head's rows split across `pipeline.tiles` tiles, heads
-    // run back to back.
+    // pool. Service time is the **layer makespan** of the task's placement
+    // plan: every head sharded per its planned split, shard cycles charged
+    // to the planned tiles, busiest tile wins. The plan is a pure function
+    // of (task, pipeline options), so replaying it here and in the suite
+    // engine yields the same decomposition.
     let mut used: Vec<usize> = requests.iter().map(|r| r.task_index).collect();
     used.sort_unstable();
     used.dedup();
@@ -857,12 +886,16 @@ pub fn run_serving(
     let service: Vec<u64> = parallel_map(runner.pool(), tasks, move |_, task| {
         // lint:allow(wall-clock-in-virtual-path, reason = "wall-seconds telemetry span around ground-truth execution; virtual-time replay never reads it")
         let execute_start = Instant::now();
-        let cycles: u64 = (0..pipeline.heads.max(1))
-            .map(|head| {
-                let workload = cache.head_workload(task, &pipeline, head);
-                simulate_head_tiled(&workload, &config, tiles).makespan_cycles()
-            })
-            .sum();
+        let plan = plan_task_layer(task, &pipeline, &config, tiles);
+        let mut tile_busy = vec![0u64; tiles];
+        for head in 0..pipeline.heads.max(1) {
+            let workload = cache.head_workload(task, &pipeline, head);
+            let tiled = simulate_head_tiled(&workload, &config, plan.split(head));
+            for (shard, &tile) in plan.shard_tiles[head].iter().enumerate() {
+                tile_busy[tile] += tiled.tile_cycles[shard];
+            }
+        }
+        let cycles = tile_busy.iter().copied().max().unwrap_or(0).max(1);
         if let Some(t) = &execute_telemetry {
             t.record_wall_span(
                 "execute",
@@ -879,13 +912,15 @@ pub fn run_serving(
     };
 
     // --- Phase 2: replay the arrival process in virtual time. Predictions,
-    // like service cycles, are per distinct task (and tile-aware, so the
-    // scheduler's view shrinks with the tile count just as service does);
-    // requests share them.
+    // like service cycles, are per distinct task and come from the same
+    // layer plan (its predicted makespan — the quantity placement
+    // optimized), so the scheduler's view shrinks with the tile count just
+    // as service does; requests share them.
     let predicted_of: Vec<u64> = used
         .iter()
         .map(|&i| {
-            predict_serving_cycles_tiled(&suite[i], &options.pipeline, &options.config, tiles)
+            plan_task_layer(&suite[i], &options.pipeline, &options.config, tiles)
+                .predicted_makespan_cycles()
         })
         .collect();
     let predicted: Vec<u64> = requests
@@ -912,10 +947,14 @@ pub fn run_serving(
     let mut series: Vec<ReplaySample> = Vec::new();
 
     // Event loop on a monotone virtual clock. At each clock value: dispatch
-    // ready requests onto every tile already free (ties toward the lower
-    // tile index, so the replay is deterministic), then advance the clock
+    // ready requests onto every free tile **gang** — a request's layer
+    // schedule spans `min(tiles, servers)` tiles, so dispatch claims the
+    // gang-size cheapest tiles by `(free_at, index)` (ties toward the lower
+    // tile index, so the replay is deterministic) and occupies all of them
+    // for the layer makespan. At one tile per request this reduces exactly
+    // to the legacy one-request-per-server model. The clock then advances
     // to the next event — the earlier of the next arrival and the next
-    // tile-free instant. Arrivals are always admitted before a later
+    // gang-free instant. Arrivals are always admitted before a later
     // dispatch is decided, so the policy sees exactly the requests that
     // have arrived by dispatch time, never more. With an SLO set, a picked
     // request whose *predicted* completion (`clock + headroom-padded
@@ -923,15 +962,11 @@ pub fn run_serving(
     // instead of dispatched — the controller sees only cost-model
     // predictions (padded by SLO_PREDICTION_HEADROOM against residual
     // model error), never ground truth.
+    let gang_size = tiles.min(options.servers);
     let mut clock = 0u64;
     loop {
         while !ready.is_empty() {
-            let (tile, free_at) = tile_free_at
-                .iter()
-                .copied()
-                .enumerate()
-                .min_by_key(|&(index, free)| (free, index))
-                .expect("at least one tile"); // lint:allow(panic-in-library, reason = "options.servers > 0 is asserted at entry, so the per-tile free list is never empty")
+            let (gang, free_at) = free_tile_gang(&tile_free_at, gang_size);
             if free_at > clock {
                 break;
             }
@@ -971,13 +1006,18 @@ pub fn run_serving(
             }
             let service_cycles = service_of(request.task_index);
             let finish = clock + service_cycles;
-            tile_free_at[tile] = finish;
-            tile_busy_cycles[tile] += service_cycles;
+            for &tile in &gang {
+                tile_free_at[tile] = finish;
+                tile_busy_cycles[tile] += service_cycles;
+            }
             if let Some(t) = &telemetry {
+                // One span on the gang's lead tile lane (first by
+                // `(free_at, index)`) — at one tile per request this is
+                // exactly the dispatched tile of the legacy model.
                 t.record_virtual_span(
                     "dispatch",
                     task.name.clone(),
-                    tile as u64,
+                    gang[0] as u64,
                     clock,
                     service_cycles,
                     vec![
@@ -1019,12 +1059,9 @@ pub fn run_serving(
                 t.record_counter("in_flight", clock, in_flight as u64);
             }
         }
-        // Advance to the next event.
-        let next_free = tile_free_at
-            .iter()
-            .copied()
-            .min()
-            .expect("at least one tile"); // lint:allow(panic-in-library, reason = "options.servers > 0 is asserted at entry, so the per-tile free list is never empty")
+        // Advance to the next event. The dispatch-relevant instant is when
+        // a whole gang is free, not when the first tile frees up.
+        let (_, next_free) = free_tile_gang(&tile_free_at, gang_size);
         let admit_until = match (next_arrival < requests.len(), ready.is_empty()) {
             // Arrivals remain: take the next one unless a tile frees first
             // while work is already queued.
@@ -1086,6 +1123,7 @@ pub fn run_serving(
         servers: options.servers,
         threads: runner.threads(),
         tiles,
+        placement: options.pipeline.placement,
         frequency_mhz: options.config.frequency_mhz,
         records,
         shed,
@@ -1345,6 +1383,79 @@ mod tests {
             tiled.records, again.records,
             "tiled replay must be deterministic"
         );
+    }
+
+    #[test]
+    fn requests_share_tiles_through_gang_dispatch() {
+        // tiles=2 on 4 servers: every dispatch occupies a 2-tile gang, so
+        // at most servers/tiles requests run concurrently and each tile of
+        // a gang is charged the full layer makespan.
+        let suite: Vec<_> = full_suite().into_iter().take(4).collect();
+        let options = ServingOptions {
+            servers: 4,
+            pipeline: PipelineOptions {
+                tiles: 2,
+                ..quick_options().pipeline
+            },
+            ..quick_options()
+        };
+        let report = run_serving(&SuiteRunner::new(2), &suite, &options);
+        let total_service: u64 = report.records.iter().map(|r| r.service_cycles).sum();
+        assert_eq!(
+            report.tile_busy_cycles.iter().sum::<u64>(),
+            2 * total_service,
+            "each of a gang's 2 tiles is busy for the whole makespan"
+        );
+        // Causality plus gang capacity: never more than 2 overlapping
+        // requests (4 tiles / gangs of 2).
+        let mut busy: Vec<(u64, u64)> = report
+            .records
+            .iter()
+            .map(|r| (r.start_cycle, r.finish_cycle))
+            .collect();
+        busy.sort_unstable();
+        let mut active: Vec<u64> = Vec::new();
+        for (start, finish) in busy {
+            active.retain(|&f| f > start);
+            active.push(finish);
+            assert!(active.len() <= 2, "more concurrent requests than gangs");
+        }
+        assert!(report.series.iter().all(|s| s.in_flight <= 4));
+    }
+
+    #[test]
+    fn placement_moves_only_the_makespan_of_the_serving_stream() {
+        // One head on 4 tiles: lpt and rr both split the head across every
+        // tile (identical service); static keeps the head whole, so its
+        // layer makespan — and only that — is larger. The stream itself
+        // (ids, tasks, arrivals) is placement-independent.
+        let suite: Vec<_> = full_suite().into_iter().take(4).collect();
+        let report_for = |placement: Placement| {
+            let options = ServingOptions {
+                pipeline: PipelineOptions {
+                    tiles: 4,
+                    placement,
+                    ..quick_options().pipeline
+                },
+                ..quick_options()
+            };
+            run_serving(&SuiteRunner::new(2), &suite, &options)
+        };
+        let lpt = report_for(Placement::Lpt);
+        let rr = report_for(Placement::RoundRobin);
+        let fixed = report_for(Placement::Static);
+        assert_eq!(lpt.placement, Placement::Lpt);
+        assert_eq!(lpt.records, rr.records, "one split head: lpt ≡ rr");
+        assert_eq!(fixed.records.len(), lpt.records.len());
+        for (a, b) in fixed.records.iter().zip(&lpt.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.task_id, b.task_id);
+            assert_eq!(a.arrival_cycle, b.arrival_cycle);
+            assert!(
+                a.service_cycles > b.service_cycles,
+                "static (whole head on one of 4 tiles) must serve slower"
+            );
+        }
     }
 
     #[test]

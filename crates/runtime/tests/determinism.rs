@@ -132,3 +132,66 @@ fn shared_runner_cache_does_not_change_results() {
     assert_eq!(cold.results, warm.results);
     assert!(warm.cache.hits >= tasks.len() as u64 * 2);
 }
+
+#[test]
+fn placement_by_tiles_by_threads_suite_csv_is_byte_identical() {
+    // The layer scheduler's engine-level conformance contract: the
+    // placement policy chooses *where* shards run and nothing else, so the
+    // rendered suite CSV is byte-identical across every placement x tiles
+    // x threads combination, including the single-tile single-thread
+    // reference.
+    use leopard_accel::schedule::Placement;
+    let tasks = reduced_suite();
+    let options = reduced_options();
+    let reference_csv = task_results_csv(&run_suite_parallel(&tasks, &options, 1).results);
+    for placement in Placement::ALL {
+        for tiles in [1usize, 4] {
+            let combo = PipelineOptions {
+                tiles,
+                placement,
+                ..options
+            };
+            for threads in [1usize, 4] {
+                let report = run_suite_parallel(&tasks, &combo, threads);
+                assert_eq!(
+                    task_results_csv(&report.results),
+                    reference_csv,
+                    "placement={}, tiles={tiles}, threads={threads} CSV diverged",
+                    placement.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_request_csv_is_thread_count_independent_for_every_placement() {
+    // Serving replays on a virtual clock: the worker thread count changes
+    // wall time only, so the rendered request CSV (arrivals, waits,
+    // service, completion — all virtual) is byte-identical between 1 and 4
+    // threads for each placement policy at tiles=4.
+    use leopard_accel::schedule::Placement;
+    use leopard_runtime::report::serving_requests_csv;
+    use leopard_runtime::serving::{run_serving, ServingOptions};
+    let suite = full_suite();
+    for placement in Placement::ALL {
+        let options = ServingOptions {
+            requests: 24,
+            pipeline: PipelineOptions {
+                max_sim_seq_len: 24,
+                tiles: 4,
+                placement,
+                ..PipelineOptions::default()
+            },
+            ..ServingOptions::default()
+        };
+        let csv_1 = serving_requests_csv(&run_serving(&SuiteRunner::new(1), &suite, &options));
+        let csv_4 = serving_requests_csv(&run_serving(&SuiteRunner::new(4), &suite, &options));
+        assert_eq!(
+            csv_1,
+            csv_4,
+            "placement={} serve CSV moved with the thread count",
+            placement.label()
+        );
+    }
+}

@@ -143,3 +143,44 @@ fn tiled_serve_report_matches_golden_fixture() {
     assert_eq!(report.tiles, 2);
     assert_golden("serve_tiles2.csv", &serving_requests_csv(&report));
 }
+
+#[test]
+fn placement_serve_reports_match_golden_fixtures() {
+    // Pins the policy-dependent service cycles: two heads over four tiles
+    // is where the policies genuinely diverge — round-robin (like lpt)
+    // splits each head across two spare tiles, while static keeps every
+    // head whole, so its service cycles are the full head makespan. A
+    // change to the layer planner, the canonical head order, the split-
+    // widening rule, or the gang dispatch rule moves these bytes.
+    use leopard_accel::schedule::Placement;
+    let suite: Vec<TaskDescriptor> = full_suite().into_iter().take(8).collect();
+    let mut snapshots = Vec::new();
+    for (placement, fixture) in [
+        (Placement::RoundRobin, "serve_tiles4_rr.csv"),
+        (Placement::Static, "serve_tiles4_static.csv"),
+    ] {
+        let runner = SuiteRunner::new(2);
+        let options = ServingOptions {
+            requests: 16,
+            servers: 4,
+            pipeline: PipelineOptions {
+                tiles: 4,
+                heads: 2,
+                placement,
+                ..pinned_pipeline()
+            },
+            ..ServingOptions::default()
+        };
+        let report = run_serving(&runner, &suite, &options);
+        assert_eq!(report.placement, placement);
+        let csv = serving_requests_csv(&report);
+        assert_golden(fixture, &csv);
+        snapshots.push(csv);
+    }
+    // The two policies must actually disagree here, or the pair of
+    // fixtures pins nothing placement-specific.
+    assert_ne!(
+        snapshots[0], snapshots[1],
+        "rr and static snapshots coincide — the fixture config no longer discriminates"
+    );
+}

@@ -15,6 +15,7 @@ use leopard_accel::baseline::BaselineComparison;
 use leopard_accel::config::TileConfig;
 use leopard_accel::cost::{CostModel, FitObservation};
 use leopard_accel::energy::{energy_from_events, EnergyBreakdown, EnergyModel};
+use leopard_accel::schedule::{plan_layer, LayerPlan, Placement, PlannedHead};
 use leopard_accel::sim::{simulate_head, HeadSimResult, HeadWorkload};
 use leopard_tensor::{rng, stats, Matrix};
 use leopard_transformer::config::ModelFamily;
@@ -46,6 +47,12 @@ pub struct PipelineOptions {
     /// service cycles are the per-head tile **makespan**, so more tiles
     /// mean shorter requests.
     pub tiles: usize,
+    /// Head→tile placement policy of the layer scheduler (serving mode and
+    /// the model-level schedulers). Like `tiles`, placement is makespan-only:
+    /// suite results and per-request accounting are bit-identical for every
+    /// policy; only *when* shards run — and therefore the layer makespan —
+    /// changes (the layer-conformance contract).
+    pub placement: Placement,
 }
 
 impl Default for PipelineOptions {
@@ -56,6 +63,7 @@ impl Default for PipelineOptions {
             qk_bits: 12,
             qk_correlation: 0.35,
             tiles: 1,
+            placement: Placement::Lpt,
         }
     }
 }
@@ -300,6 +308,37 @@ pub fn predict_serving_cycles_tiled(
         task.paper_pruning_rate as f64,
         tiles,
     )
+}
+
+/// Plans the head→tile placement of one request's attention layer under
+/// [`PipelineOptions::placement`]: every head of the task, predicted by the
+/// [`fitted_cost_model`] at the paper-reported pruning rate, placed across
+/// `tiles` tiles. This is the schedule the serving engine replays on the
+/// virtual clock and the suite engine runs as pool sub-DAG jobs; no
+/// simulation happens here, so it is safe on per-request scheduling paths.
+///
+/// Tie-breaks use [`head_seed`] (strictly increasing in the head index), so
+/// for a task's homogeneous heads the canonical plan order is the head
+/// order.
+pub fn plan_task_layer(
+    task: &TaskDescriptor,
+    options: &PipelineOptions,
+    config: &TileConfig,
+    tiles: usize,
+) -> LayerPlan {
+    let heads = options.heads.max(1);
+    let seq_len = sim_seq_len(task, options);
+    let planned: Vec<PlannedHead> = (0..heads)
+        .map(|head| PlannedHead {
+            seq_len,
+            tie_break: head_seed(task, head),
+        })
+        .collect();
+    let family = task.family.name();
+    let rate = task.paper_pruning_rate as f64;
+    plan_layer(&planned, tiles.max(1), options.placement, |s, split| {
+        fitted_cost_model().predict_head_cycles_tiled(family, config, s, rate, split)
+    })
 }
 
 /// Builds the quantized simulator workload for one head of one task:

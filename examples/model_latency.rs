@@ -11,7 +11,7 @@
 
 use leopard::accel::config::TileConfig;
 use leopard::accel::energy::EnergyModel;
-use leopard::accel::schedule::schedule_model;
+use leopard::accel::schedule::{schedule_model, Placement};
 use leopard::accel::sim::HeadWorkload;
 use leopard::transformer::config::{ModelConfig, ModelFamily};
 use leopard::workloads::pipeline::{synthesize_qk, threshold_for_rate};
@@ -60,7 +60,7 @@ fn main() {
         TileConfig::ae_leopard(),
         TileConfig::hp_leopard(),
     ] {
-        let schedule = schedule_model(&layer_workloads, &config, &energy_model);
+        let schedule = schedule_model(&layer_workloads, &config, &energy_model, Placement::Lpt);
         if config.name == "Baseline" {
             baseline_cycles = schedule.total_cycles();
             baseline_energy = schedule.total_energy();
