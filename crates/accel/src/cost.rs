@@ -337,6 +337,28 @@ impl CostModel {
     }
 }
 
+/// Fraction of the *remaining* (unpruned) back-end work that each step of
+/// the graceful-degradation ladder removes: level `k` keeps
+/// `(1 - DEGRADATION_STEP)^k` of the surviving rows. See
+/// [`degraded_pruning_rate`].
+pub const DEGRADATION_STEP: f64 = 0.5;
+
+/// The effective pruning rate after tightening the early-termination
+/// threshold by `level` steps of the graceful-degradation ladder.
+///
+/// Level 0 is full service (`rate` unchanged). Each further level prunes
+/// half ([`DEGRADATION_STEP`]) of the rows that still survived:
+/// `1 - (1 - rate) * (1 - DEGRADATION_STEP)^level`. The result is
+/// monotone in `level`, approaches (but never reaches) 1, and feeds the
+/// same [`CostModel`] prediction paths as the nominal rate — degraded
+/// service is *cheaper by the cost model's own arithmetic*, which is what
+/// lets the serving replay trade accuracy headroom for predicted cycles
+/// deterministically.
+pub fn degraded_pruning_rate(rate: f64, level: u32) -> f64 {
+    let survival = (1.0 - rate.clamp(0.0, 1.0)) * (1.0 - DEGRADATION_STEP).powi(level as i32);
+    (1.0 - survival).clamp(0.0, 1.0)
+}
+
 /// Mean fraction of serial steps saved over the pruned dots of a bit
 /// profile: a dot that stopped after `b` of `W` magnitude bits saved
 /// `1 - b/W`. Returns `None` when the histogram recorded no pruned dot
@@ -695,5 +717,29 @@ mod tests {
         assert!(ae.cycles < base.cycles);
         assert!(ae.energy_total() < base.energy_total());
         assert!(ae.energy_delay_product() < base.energy_delay_product());
+    }
+
+    #[test]
+    fn degradation_ladder_is_monotone_and_cheapens_predictions() {
+        // Level 0 is identity; each level halves the surviving rows.
+        assert_eq!(degraded_pruning_rate(0.4, 0), 0.4);
+        assert!((degraded_pruning_rate(0.4, 1) - 0.7).abs() < 1e-12);
+        assert!((degraded_pruning_rate(0.4, 2) - 0.85).abs() < 1e-12);
+        assert_eq!(degraded_pruning_rate(1.0, 3), 1.0);
+        let mut previous = degraded_pruning_rate(0.2, 0);
+        for level in 1..8 {
+            let rate = degraded_pruning_rate(0.2, level);
+            assert!(rate > previous && rate < 1.0, "monotone, never saturating");
+            previous = rate;
+        }
+        // The tightened rate flows through the cost model as fewer cycles.
+        let cfg = TileConfig::ae_leopard();
+        let model = CostModel::analytical();
+        let full = model.predict_head_cycles("x", &cfg, 96, 0.4);
+        let degraded = model.predict_head_cycles("x", &cfg, 96, degraded_pruning_rate(0.4, 1));
+        assert!(
+            degraded < full,
+            "degraded prediction {degraded} must undercut full-service {full}"
+        );
     }
 }

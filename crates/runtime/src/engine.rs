@@ -34,10 +34,12 @@
 //! accumulated with atomics and reported alongside the results.
 
 use crate::cache::{CacheStats, WorkloadCache};
+use crate::pool::parallel_map;
 use crate::pool::{default_threads, ThreadPool};
 use crate::sched::{submission_order, SchedulePolicy};
 use crate::telemetry::{MetricsSnapshot, Telemetry};
-use leopard_accel::schedule::{merge_head_shards, LayerPlan, TilePartition};
+use leopard_accel::config::TileConfig;
+use leopard_accel::schedule::{merge_head_shards, simulate_head_tiled, LayerPlan, TilePartition};
 use leopard_accel::sim::TileShardSim;
 use leopard_workloads::pipeline::{
     aggregate_task, plan_task_layer, predict_task_cycles, simulate_unit_shard, HeadUnitResults,
@@ -465,6 +467,62 @@ pub fn run_suite_parallel(
     threads: usize,
 ) -> SuiteReport {
     SuiteRunner::new(threads).run(tasks, options)
+}
+
+/// Ground-truth layer makespans for a batch of `(plan_width, task)` jobs,
+/// executed in parallel on the runner's pool and workload cache.
+///
+/// Each job plans the task's attention layer across `plan_width` tiles
+/// ([`plan_task_layer`] — the same decomposition the suite engine runs),
+/// simulates every head's shards through
+/// [`simulate_head_tiled`],
+/// charges shard cycles to the planned tiles, and returns the busiest
+/// tile's total — the layer makespan, the quantity the serving replay
+/// books as a request's service time. Results come back in job order.
+///
+/// The serving engine is the caller: a fault-free run needs one plan width
+/// (the configured tile count), while a run with tile fail/recover events
+/// also needs the makespan at every reduced live-set width its gang
+/// dispatch can encounter (`leopard_accel::schedule::plan_layer_live`
+/// guarantees a live-set plan makes exactly the decisions of the
+/// same-width plain plan, so width is the only thing that matters here).
+/// Every job is a pure function of `(task, pipeline, config, width)` —
+/// thread count never changes a returned cycle count.
+pub fn measure_layer_makespans(
+    runner: &SuiteRunner,
+    jobs: Vec<(usize, TaskDescriptor)>,
+    pipeline: &PipelineOptions,
+    config: &TileConfig,
+) -> Vec<u64> {
+    let cache = Arc::clone(runner.cache());
+    let pipeline = *pipeline;
+    let config = *config;
+    let telemetry = runner.telemetry().cloned();
+    parallel_map(runner.pool(), jobs, move |_, (width, task)| {
+        // lint:allow(wall-clock-in-virtual-path, reason = "wall-seconds telemetry span around ground-truth execution; virtual-time replay never reads it")
+        let execute_start = Instant::now();
+        let width = (*width).max(1);
+        let plan = plan_task_layer(task, &pipeline, &config, width);
+        let mut tile_busy = vec![0u64; width];
+        for head in 0..pipeline.heads.max(1) {
+            let workload = cache.head_workload(task, &pipeline, head);
+            let tiled = simulate_head_tiled(&workload, &config, plan.split(head));
+            for (shard, &tile) in plan.shard_tiles[head].iter().enumerate() {
+                tile_busy[tile] += tiled.tile_cycles[shard];
+            }
+        }
+        let cycles = tile_busy.iter().copied().max().unwrap_or(0).max(1);
+        if let Some(t) = &telemetry {
+            t.record_wall_span(
+                "execute",
+                task.name.clone(),
+                execute_start,
+                vec![("task", task.id as u64)],
+            );
+            t.metrics().incr("serve.tasks.executed", 1);
+        }
+        cycles
+    })
 }
 
 #[cfg(test)]

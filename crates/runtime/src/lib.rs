@@ -32,6 +32,12 @@
 //!   shedding and p50/p95/p99/max latency, throughput, shed-rate,
 //!   goodput, and queue-depth reporting. Per-request accounting is
 //!   bit-identical for any thread count.
+//! * [`faults`] — deterministic fault injection for serving: a seeded,
+//!   virtual-clock [`FaultPlan`] of tile fail/recover events, slow-tile
+//!   cycle multipliers, and transient dispatch failures, paired with
+//!   retry/backoff deferral and graceful degradation in the replay. The
+//!   same plan and seed reproduce a failure scenario bit-for-bit at any
+//!   thread count.
 //! * [`telemetry`] — the observe-only instrumentation layer: span tracing
 //!   into per-worker buffers exported as Chrome trace-event JSON
 //!   (Perfetto/`chrome://tracing`), plus a [`MetricsRegistry`] of
@@ -68,6 +74,7 @@
 pub mod cache;
 pub mod cli;
 pub mod engine;
+pub mod faults;
 pub mod pool;
 pub mod report;
 pub mod sched;
@@ -76,6 +83,7 @@ pub mod telemetry;
 
 pub use cache::{CacheStats, WorkloadCache};
 pub use engine::{run_suite_parallel, SuiteReport, SuiteRunner};
+pub use faults::FaultPlan;
 pub use pool::{parallel_map, ThreadPool};
 pub use sched::SchedulePolicy;
 pub use serving::{run_serving, ArrivalProcess, RequestMix, ServingOptions, ServingReport};

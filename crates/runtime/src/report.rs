@@ -289,14 +289,45 @@ pub fn serving_report_json(report: &ServingReport) -> String {
         report.max_queue_depth(),
         json_f64(report.mean_queue_depth()),
     );
+    // The fault-tolerance block renders only for runs that enabled it, so
+    // faults-off reports stay byte-identical to the pre-fault fixtures.
+    let ft = report.fault_summary.is_some();
+    if let Some(f) = &report.fault_summary {
+        let _ = writeln!(
+            out,
+            "  \"fault_tolerance\": {{\"retry_max\": {}, \"backoff_base_cycles\": {}, \
+             \"degrade\": {}, \"fail_rate\": {}, \"transient_faults\": {}, \"retries\": {}, \
+             \"slo_deferrals\": {}, \"degraded\": {}, \"shed_after_retries\": {}, \
+             \"tile_fail_events\": {}, \"tile_recover_events\": {}, \"min_live_tiles\": {}, \
+             \"availability\": {}}},",
+            f.retry_max,
+            f.backoff_base_cycles,
+            f.degrade,
+            json_f64(f.fail_rate),
+            f.transient_faults,
+            f.retries,
+            f.slo_deferrals,
+            f.degraded,
+            f.shed_after_retries,
+            f.tile_fail_events,
+            f.tile_recover_events,
+            f.min_live_tiles,
+            json_f64(report.tile_availability()),
+        );
+    }
     // Shed requests, in decision order (empty without an SLO).
     let shed_rows: Vec<String> = report
         .shed
         .iter()
         .map(|s| {
+            let attempts = if ft {
+                format!(", \"attempts\": {}", s.attempts)
+            } else {
+                String::new()
+            };
             format!(
                 "{{\"id\": {}, \"task_id\": {}, \"task\": \"{}\", \"arrival_cycle\": {}, \
-                 \"shed_cycle\": {}, \"predicted_cycles\": {}}}",
+                 \"shed_cycle\": {}, \"predicted_cycles\": {}{attempts}}}",
                 s.id,
                 s.task_id,
                 escape_json(&s.task_name),
@@ -325,10 +356,18 @@ pub fn serving_report_json(report: &ServingReport) -> String {
         .records
         .iter()
         .map(|r| {
+            let ft_cols = if ft {
+                format!(
+                    ", \"attempts\": {}, \"degraded\": {}",
+                    r.attempts, r.degraded
+                )
+            } else {
+                String::new()
+            };
             format!(
                 "    {{\"id\": {}, \"task_id\": {}, \"task\": \"{}\", \"arrival_cycle\": {}, \
                  \"start_cycle\": {}, \"finish_cycle\": {}, \"service_cycles\": {}, \
-                 \"predicted_cycles\": {}}}",
+                 \"predicted_cycles\": {}{ft_cols}}}",
                 r.id,
                 r.task_id,
                 escape_json(&r.task_name),
@@ -348,10 +387,32 @@ pub fn serving_report_json(report: &ServingReport) -> String {
     out
 }
 
+/// The console fault-tolerance line, rendered only for runs that enabled
+/// the subsystem (so faults-off output is unchanged).
+fn fault_line(report: &ServingReport) -> Option<String> {
+    let f = report.fault_summary.as_ref()?;
+    Some(format!(
+        "fault tolerance: {} transient fault(s), {} retr{} ({} slo deferral(s)), \
+         {} served degraded, {} shed after retries, tiles {}-{} live \
+         ({:.1}% availability)\n",
+        f.transient_faults,
+        f.retries,
+        if f.retries == 1 { "y" } else { "ies" },
+        f.slo_deferrals,
+        f.degraded,
+        f.shed_after_retries,
+        f.min_live_tiles,
+        report.servers,
+        report.tile_availability() * 100.0,
+    ))
+}
+
 /// Renders the serving console summary: one percentile row per statistic,
 /// then throughput, queue depth (max, per-dispatch mean, and time-weighted
 /// mean), the per-tile utilization grid with its fragmentation line, and —
-/// when an SLO was set — shed rate and goodput. A run that admitted
+/// when an SLO was set — shed rate and goodput. Runs with fault tolerance
+/// enabled get one extra accounting line (see [`ServingReport::fault_summary`]
+/// — absent, the output matches the pre-fault format). A run that admitted
 /// nothing renders a "no requests served" line (plus the shed accounting
 /// when everything was shed by the SLO).
 pub fn serving_summary(report: &ServingReport) -> String {
@@ -367,6 +428,9 @@ pub fn serving_summary(report: &ServingReport) -> String {
                 report.offered(),
                 report.shed_rate() * 100.0,
             );
+        }
+        if let Some(line) = fault_line(report) {
+            out.push_str(&line);
         }
         return out;
     }
@@ -418,6 +482,9 @@ pub fn serving_summary(report: &ServingReport) -> String {
         report.mean_queue_depth(),
         report.time_weighted_mean_queue_depth(),
     );
+    if let Some(line) = fault_line(report) {
+        out.push_str(&line);
+    }
     if report.makespan_cycles() > 0 && !report.tile_busy_cycles.is_empty() {
         let utilization = report.tile_utilization();
         out.push_str("tile utilization over the makespan:");
@@ -684,6 +751,60 @@ mod tests {
         assert!(json.contains("\"shed\": 12"));
         assert!(json.contains("\"shed_rate\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fault_tolerance_block_renders_only_when_enabled() {
+        use crate::faults::FaultPlan;
+        use crate::serving::{run_serving, ServingOptions};
+        let suite: Vec<_> = full_suite().into_iter().take(4).collect();
+        let runner = crate::engine::SuiteRunner::new(2);
+        let pipeline = PipelineOptions {
+            max_sim_seq_len: 24,
+            ..PipelineOptions::default()
+        };
+        // Faults off: none of the fault-tolerance keys may appear, keeping
+        // the report byte-compatible with pre-fault fixtures.
+        let off = run_serving(
+            &runner,
+            &suite,
+            &ServingOptions {
+                requests: 12,
+                pipeline,
+                ..ServingOptions::default()
+            },
+        );
+        let off_json = serving_report_json(&off);
+        for key in ["fault_tolerance", "\"attempts\"", "\"degraded\""] {
+            assert!(!off_json.contains(key), "unexpected {key} in:\n{off_json}");
+        }
+        assert!(!serving_summary(&off).contains("fault tolerance"));
+        // Faults on: the block, the per-row columns, and the console line
+        // all render, and the JSON stays structurally balanced.
+        let on = run_serving(
+            &runner,
+            &suite,
+            &ServingOptions {
+                requests: 12,
+                retry_max: 2,
+                faults: Some(FaultPlan::transient(7, 0.25).unwrap()),
+                pipeline,
+                ..ServingOptions::default()
+            },
+        );
+        assert!(on.fault_summary.is_some());
+        let on_json = serving_report_json(&on);
+        for key in [
+            "\"fault_tolerance\": {\"retry_max\": 2",
+            "\"fail_rate\": 0.25",
+            "\"availability\"",
+            "\"attempts\"",
+            "\"degraded\"",
+        ] {
+            assert!(on_json.contains(key), "missing {key} in:\n{on_json}");
+        }
+        assert_eq!(on_json.matches('{').count(), on_json.matches('}').count());
+        assert!(serving_summary(&on).contains("fault tolerance:"));
     }
 
     #[test]

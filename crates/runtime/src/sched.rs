@@ -203,6 +203,107 @@ impl ReadyQueue {
     }
 }
 
+/// Min-heap entry of the [`DeferralQueue`]: earliest ready cycle first,
+/// ties broken toward the earlier arrival index so the promotion order is
+/// total and deterministic.
+#[derive(Debug, PartialEq, Eq)]
+struct DeferredEntry {
+    ready_cycle: u64,
+    job: PredictedJob,
+}
+
+impl Ord for DeferredEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse both keys for min-heap order.
+        other
+            .ready_cycle
+            .cmp(&self.ready_cycle)
+            .then_with(|| other.job.index.cmp(&self.job.index))
+    }
+}
+
+impl PartialOrd for DeferredEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The retry side-queue of fault-tolerant serving: requests that hit a
+/// transient fault or a predicted SLO miss are *deferred* — parked here
+/// until a backoff-determined ready cycle — instead of shed outright.
+/// When the virtual clock reaches an entry's ready cycle the replay
+/// promotes it back into the policy-ordered [`ReadyQueue`], so deferral
+/// composes with (rather than replaces) the admission policy.
+///
+/// Promotion order is fully deterministic: entries come out by
+/// `(ready_cycle, arrival index)`, both of which are pure functions of the
+/// seeded fault stream and the request trace.
+#[derive(Debug, Default)]
+pub struct DeferralQueue {
+    heap: BinaryHeap<DeferredEntry>,
+    /// Deferrals ever accepted (monotone; survives promotions).
+    deferrals: u64,
+    /// Deepest the queue has ever been.
+    peak: usize,
+}
+
+impl DeferralQueue {
+    /// Creates an empty deferral queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks `job` until the virtual clock reaches `ready_cycle`.
+    pub fn defer(&mut self, job: PredictedJob, ready_cycle: u64) {
+        self.heap.push(DeferredEntry { ready_cycle, job });
+        self.deferrals += 1;
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    /// Removes and returns the next job whose ready cycle is at or before
+    /// `clock`, if any.
+    pub fn pop_ready(&mut self, clock: u64) -> Option<PredictedJob> {
+        if self.heap.peek()?.ready_cycle <= clock {
+            self.heap.pop().map(|e| e.job)
+        } else {
+            None
+        }
+    }
+
+    /// The earliest ready cycle of any parked job — the clock target the
+    /// replay must not skip past while the ready queue is empty.
+    pub fn next_ready_cycle(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.ready_cycle)
+    }
+
+    /// Number of parked jobs.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no job is parked.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Cumulative number of deferrals ever accepted.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
+    }
+
+    /// Deepest the queue has ever been across its lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Drains every parked job in deterministic `(ready_cycle, index)`
+    /// order, regardless of the clock — the permanent-outage path, where
+    /// parked work can never run and must be shed reproducibly.
+    pub fn drain_all(&mut self) -> Vec<PredictedJob> {
+        std::iter::from_fn(|| self.heap.pop().map(|e| e.job)).collect()
+    }
+}
+
 /// Returns the submission order the policy prescribes for a batch of jobs
 /// whose predicted costs are `costs[i]`: FIFO keeps `0..n`, LJF sorts by
 /// descending cost and SJF by ascending cost (ties toward the lower index
@@ -291,6 +392,37 @@ mod tests {
             vec![3, 0, 2, 1]
         );
         assert!(submission_order(&[], SchedulePolicy::Ljf).is_empty());
+    }
+
+    #[test]
+    fn deferral_queue_promotes_by_ready_cycle_then_arrival() {
+        let mut q = DeferralQueue::new();
+        let job = |index| PredictedJob {
+            index,
+            predicted_cycles: 100,
+        };
+        q.defer(job(3), 500);
+        q.defer(job(1), 200);
+        q.defer(job(2), 200);
+        q.defer(job(0), 900);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peak_len(), 4);
+        assert_eq!(q.next_ready_cycle(), Some(200));
+        // Nothing is ready before its cycle.
+        assert!(q.pop_ready(199).is_none());
+        // Ties on ready cycle resolve toward the earlier arrival index.
+        assert_eq!(q.pop_ready(200).map(|j| j.index), Some(1));
+        assert_eq!(q.pop_ready(200).map(|j| j.index), Some(2));
+        assert!(q.pop_ready(200).is_none());
+        assert_eq!(q.next_ready_cycle(), Some(500));
+        // A late clock promotes whatever is due.
+        assert_eq!(q.pop_ready(10_000).map(|j| j.index), Some(3));
+        // drain_all empties deterministically regardless of the clock.
+        q.defer(job(7), 50);
+        let drained: Vec<usize> = q.drain_all().iter().map(|j| j.index).collect();
+        assert_eq!(drained, vec![7, 0]);
+        assert!(q.is_empty());
+        assert_eq!(q.deferrals(), 5, "lifetime stats survive the drain");
     }
 
     #[test]

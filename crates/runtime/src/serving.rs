@@ -22,7 +22,8 @@
 //!    ([`plan_task_layer`] under [`PipelineOptions::placement`] across
 //!    [`PipelineOptions::tiles`] tiles — heads whole while they
 //!    outnumber tiles, load-predicted Q-row splits when tiles would idle).
-//!    Shard simulation goes through [`simulate_head_tiled`], so merged
+//!    Shard simulation goes through
+//!    [`simulate_head_tiled`](leopard_accel::schedule::simulate_head_tiled), so merged
 //!    per-request accounting stays bit-identical to single-tile execution
 //!    for every tile count and placement policy; only the makespan — the
 //!    scheduled quantity — changes. Simulation is a pure function of the
@@ -42,21 +43,51 @@
 //! worker threads only change how fast phase 1 runs, never a single number
 //! in the report. Same seed + any thread count ⇒ bit-identical per-request
 //! accounting (enforced by `tests/serving.rs`).
+//!
+//! # Fault tolerance
+//!
+//! With a [`FaultPlan`] (and/or a retry budget) the replay becomes a
+//! fault-tolerant serving loop, still fully deterministic:
+//!
+//! * **Tile fail/recover** events shrink and grow the live tile set on the
+//!   virtual clock. A failing tile drains (its in-flight gang finishes)
+//!   but takes no new dispatches; gang dispatch replans over the live set
+//!   (capacity-constrained plans go through reduced-width layer plans —
+//!   `plan_layer_live` pins that a live-set plan decides exactly like the
+//!   same-width plain plan, so only placement labels move).
+//! * **Transient dispatch failures** and predicted SLO misses are
+//!   *deferred* with seeded exponential backoff
+//!   ([`ServingOptions::retry_max`],
+//!   [`ServingOptions::backoff_base_cycles`]) instead of shed outright;
+//!   a request is shed only after exhausting its retries.
+//! * **Graceful degradation** ([`ServingOptions::degrade`]): when the
+//!   padded prediction misses the deadline, the controller walks a
+//!   [`DEGRADE_LEVELS`]-step ladder of tightened pruning thresholds
+//!   (`degraded_pruning_rate`) and serves the cheapest level that fits
+//!   instead of shedding; the outcome is recorded as a `degraded` level
+//!   on the request record.
+//!
+//! With no fault plan, `retry_max == 0`, and degradation off, every path
+//! above is provably inert and the replay is byte-identical to the plain
+//! engine — golden fixtures pin this. With faults on, every fault draw is
+//! counter-addressed by `(seed, request, attempt)`, so reports stay
+//! bit-identical across thread counts (enforced by
+//! `tests/fault_tolerance.rs`).
 
 use crate::cache::CacheStats;
-use crate::engine::SuiteRunner;
-use crate::pool::parallel_map;
-use crate::sched::{PredictedJob, ReadyQueue, SchedulePolicy};
-use crate::telemetry::MetricsSnapshot;
+use crate::engine::{measure_layer_makespans, SuiteRunner};
+use crate::faults::{FaultPlan, TileFaultEvent, TileFaultKind};
+use crate::sched::{DeferralQueue, PredictedJob, ReadyQueue, SchedulePolicy};
+use crate::telemetry::{MetricsSnapshot, Telemetry};
 use leopard_accel::config::TileConfig;
-use leopard_accel::schedule::{simulate_head_tiled, Placement};
+use leopard_accel::cost::degraded_pruning_rate;
+use leopard_accel::schedule::Placement;
 use leopard_tensor::rng;
 use leopard_transformer::config::ModelFamily;
-use leopard_workloads::pipeline::{plan_task_layer, PipelineOptions};
+use leopard_workloads::pipeline::{plan_task_layer, plan_task_layer_at_rate, PipelineOptions};
 use leopard_workloads::suite::TaskDescriptor;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How inter-arrival gaps are generated. Every process is seeded and lives
@@ -90,6 +121,19 @@ pub enum ArrivalProcess {
 /// predicted slack keeps the *actual* tail of the admitted requests under
 /// the deadline instead of merely the predicted one.
 pub const SLO_PREDICTION_HEADROOM: f64 = 1.4;
+
+/// Default backoff base of the retry deferral queue, in virtual cycles:
+/// retry `n` of a request waits `base · 2ⁿ` cycles plus seeded jitter in
+/// `[0, base)` (see `FaultPlan::backoff_cycles`). 4096 cycles is roughly
+/// half a short request's service time at serving sequence lengths — long
+/// enough to let a transient clear, short enough that a retried request
+/// can still meet a realistic SLO.
+pub const DEFAULT_BACKOFF_BASE_CYCLES: u64 = 4096;
+
+/// Depth of the graceful-degradation ladder: the admission controller may
+/// tighten a request's pruning threshold by at most this many steps of
+/// `degraded_pruning_rate` before concluding degradation cannot save it.
+pub const DEGRADE_LEVELS: u32 = 2;
 
 /// Mean number of requests per burst of [`ArrivalProcess::Bursty`].
 pub const BURST_MEAN_LEN: f64 = 16.0;
@@ -327,6 +371,26 @@ pub struct ServingOptions {
     pub pipeline: PipelineOptions,
     /// Tile configuration every request executes on.
     pub config: TileConfig,
+    /// Multiplicative headroom the SLO admission controller applies to
+    /// predicted service cycles before comparing against the deadline.
+    /// Defaults to [`SLO_PREDICTION_HEADROOM`]; must be positive and
+    /// finite (`--slo-headroom` on the CLI).
+    pub slo_headroom: f64,
+    /// Retries a request may consume before it is shed: a transient fault
+    /// or predicted SLO miss defers the request (seeded exponential
+    /// backoff) while attempts remain. `0` restores shed-on-first-miss.
+    pub retry_max: u32,
+    /// Backoff base of the deferral queue, in virtual cycles (retry `n`
+    /// waits `base · 2ⁿ` plus seeded jitter in `[0, base)`). Must be at
+    /// least 1.
+    pub backoff_base_cycles: u64,
+    /// Graceful degradation: when the padded prediction misses the
+    /// deadline, serve the request at the cheapest fitting level of the
+    /// tightened-pruning ladder instead of deferring or shedding it.
+    pub degrade: bool,
+    /// Deterministic fault scenario to inject, if any. Validated against
+    /// `servers` when the run starts.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServingOptions {
@@ -349,7 +413,21 @@ impl Default for ServingOptions {
             servers: 32,
             pipeline: PipelineOptions::default(),
             config: TileConfig::ae_leopard(),
+            slo_headroom: SLO_PREDICTION_HEADROOM,
+            retry_max: 0,
+            backoff_base_cycles: DEFAULT_BACKOFF_BASE_CYCLES,
+            degrade: false,
+            faults: None,
         }
+    }
+}
+
+impl ServingOptions {
+    /// Whether any fault-tolerance machinery is engaged: a fault plan, a
+    /// retry budget, or graceful degradation. When false, the replay is
+    /// the plain shed-only engine and reports carry no fault accounting.
+    pub fn fault_tolerance_active(&self) -> bool {
+        self.faults.is_some() || self.retry_max > 0 || self.degrade
     }
 }
 
@@ -383,6 +461,13 @@ pub struct RequestRecord {
     pub predicted_cycles: u64,
     /// Ground-truth service cycles from the simulator.
     pub service_cycles: u64,
+    /// Retries this request consumed before it was served (0 = served on
+    /// its first dispatch attempt).
+    pub attempts: u32,
+    /// Degradation-ladder level the request was served at (0 = full
+    /// service; higher levels tightened the pruning threshold to fit the
+    /// deadline).
+    pub degraded: u32,
 }
 
 impl RequestRecord {
@@ -458,6 +543,47 @@ pub struct ShedRecord {
     pub shed_cycle: u64,
     /// Cycles the cost model predicted the request would have needed.
     pub predicted_cycles: u64,
+    /// Retries the request consumed before it was shed (0 = shed at its
+    /// first dispatch attempt — the only value the shed-only engine
+    /// produces).
+    pub attempts: u32,
+}
+
+/// Fault-tolerance accounting of one serving run, present on the report
+/// only when [`ServingOptions::fault_tolerance_active`] — fault-free runs
+/// carry `None` and render byte-identically to the plain engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// Retry budget the run allowed per request.
+    pub retry_max: u32,
+    /// Backoff base of the deferral queue, in cycles.
+    pub backoff_base_cycles: u64,
+    /// Whether graceful degradation was enabled.
+    pub degrade: bool,
+    /// Transient per-attempt failure probability of the fault plan.
+    pub fail_rate: f64,
+    /// Dispatch attempts that hit a transient fault (including the final
+    /// attempt of requests that went on to be shed).
+    pub transient_faults: u64,
+    /// Deferrals the retry queue accepted (transient-fault and
+    /// SLO-predicted deferrals combined).
+    pub retries: u64,
+    /// Deferrals caused by a predicted SLO miss (the remainder of
+    /// [`retries`](Self::retries) were transient faults).
+    pub slo_deferrals: u64,
+    /// Requests served at a degraded level (ladder level ≥ 1).
+    pub degraded: u64,
+    /// Requests shed only after exhausting their retry budget.
+    pub shed_after_retries: u64,
+    /// Tile-fail events that fired within the observed span.
+    pub tile_fail_events: u64,
+    /// Tile-recover events that fired within the observed span.
+    pub tile_recover_events: u64,
+    /// Fewest tiles simultaneously live at any point of the run.
+    pub min_live_tiles: usize,
+    /// ∫ live-tiles d(cycles) over the observed span — the numerator of
+    /// [`ServingReport::tile_availability`].
+    pub live_cycle_integral: u128,
 }
 
 /// Everything a serving run produces.
@@ -539,6 +665,9 @@ pub struct ServingReport {
     /// enabled. Observe-only: never rendered into the pinned JSON/CSV
     /// report output; `--metrics` writes it to its own file.
     pub metrics: Option<MetricsSnapshot>,
+    /// Fault-tolerance accounting, present only when the run engaged any
+    /// fault-tolerance machinery ([`ServingOptions::fault_tolerance_active`]).
+    pub fault_summary: Option<FaultSummary>,
 }
 
 impl ServingReport {
@@ -692,6 +821,33 @@ impl ServingReport {
         let seconds = makespan as f64 / (f64::from(self.frequency_mhz) * 1e6);
         self.slo_met() as f64 / seconds
     }
+
+    /// Time-weighted fraction of the tile array that was live over the
+    /// observed span: ∫ live-tiles d(cycles) / (servers · observed
+    /// cycles). Exactly 1.0 for a run without fault tolerance (or with no
+    /// tile events), and 1.0 by convention when nothing was observed.
+    pub fn tile_availability(&self) -> f64 {
+        let Some(summary) = &self.fault_summary else {
+            return 1.0;
+        };
+        if self.observed_cycles == 0 || self.servers == 0 {
+            return 1.0;
+        }
+        let span = u128::from(self.observed_cycles) * self.servers as u128;
+        summary.live_cycle_integral as f64 / span as f64
+    }
+
+    /// Requests that were retried at least once and still served (their
+    /// records carry `attempts > 0`). Zero for fault-free runs.
+    pub fn retried_served(&self) -> usize {
+        self.records.iter().filter(|r| r.attempts > 0).count()
+    }
+
+    /// Requests served at a degraded ladder level. Zero for fault-free
+    /// runs.
+    pub fn degraded_served(&self) -> usize {
+        self.records.iter().filter(|r| r.degraded > 0).count()
+    }
 }
 
 /// Draws one exponential gap with the given mean via inverse CDF; `1 - u`
@@ -830,13 +986,23 @@ pub fn generate_requests(suite: &[TaskDescriptor], options: &ServingOptions) -> 
         .collect()
 }
 
-/// The cheapest gang of `take` tiles by `(free_at, index)` and the instant
-/// the whole gang is free (the maximum of the chosen tiles' free times).
-/// Deterministic: ties always resolve toward the lower tile index. With
-/// `take == 1` this is exactly "the first tile to free up" of the legacy
-/// one-request-per-server model.
-fn free_tile_gang(tile_free_at: &[u64], take: usize) -> (Vec<usize>, u64) {
-    let mut order: Vec<usize> = (0..tile_free_at.len()).collect();
+/// The cheapest gang of `take` **live** tiles by `(free_at, index)` and
+/// the instant the whole gang is free (the maximum of the chosen tiles'
+/// free times). Deterministic: ties always resolve toward the lower tile
+/// index. With every tile live and `take == 1` this is exactly "the first
+/// tile to free up" of the legacy one-request-per-server model; with
+/// failed tiles it is the topology-aware replan — the gang simply is the
+/// cheapest subset of the live set, so placement follows fail/recover
+/// events with no extra mechanism.
+///
+/// # Panics
+///
+/// Panics if fewer than `take` tiles are live (the replay clamps `take`
+/// to the live count before calling).
+fn free_tile_gang(tile_free_at: &[u64], tile_down: &[bool], take: usize) -> (Vec<usize>, u64) {
+    let mut order: Vec<usize> = (0..tile_free_at.len())
+        .filter(|&tile| !tile_down[tile])
+        .collect();
     order.sort_by_key(|&tile| (tile_free_at[tile], tile));
     let gang: Vec<usize> = order[..take].to_vec();
     let ready_at = gang
@@ -847,6 +1013,106 @@ fn free_tile_gang(tile_free_at: &[u64], take: usize) -> (Vec<usize>, u64) {
     (gang, ready_at)
 }
 
+/// Live-set state of the tile array during the replay: which tiles are
+/// down, how many are live, and the availability integral — all advanced
+/// deterministically by the fault plan's (sorted) tile events.
+struct LiveTiles {
+    /// Tiles currently drained out of the live set.
+    down: Vec<bool>,
+    /// Live tile count (`down.len() - down.iter().filter(..)`).
+    live: usize,
+    /// Fewest tiles ever simultaneously live.
+    min_live: usize,
+    /// ∫ live-tiles d(cycles), charged piecewise at every liveness change
+    /// and settled to the observed span at the end of the run.
+    integral: u128,
+    /// Cycle up to which the integral is charged.
+    last_cycle: u64,
+    /// Fail events applied (idempotent: a fail on a down tile is a no-op).
+    fail_events: u64,
+    /// Recover events applied (idempotent likewise).
+    recover_events: u64,
+}
+
+impl LiveTiles {
+    fn new(servers: usize) -> Self {
+        Self {
+            down: vec![false; servers],
+            live: servers,
+            min_live: servers,
+            integral: 0,
+            last_cycle: 0,
+            fail_events: 0,
+            recover_events: 0,
+        }
+    }
+
+    /// Applies every event at or before `clock`, charging the availability
+    /// integral piecewise at each event's own cycle. `next_event` is the
+    /// caller's cursor into the sorted event list.
+    fn apply_until(
+        &mut self,
+        clock: u64,
+        events: &[TileFaultEvent],
+        next_event: &mut usize,
+        telemetry: Option<&Telemetry>,
+    ) {
+        while *next_event < events.len() && events[*next_event].cycle <= clock {
+            let event = events[*next_event];
+            *next_event += 1;
+            self.charge(event.cycle);
+            let applied = match event.kind {
+                TileFaultKind::Fail => {
+                    if self.down[event.tile] {
+                        false
+                    } else {
+                        self.down[event.tile] = true;
+                        self.live -= 1;
+                        self.fail_events += 1;
+                        true
+                    }
+                }
+                TileFaultKind::Recover => {
+                    if self.down[event.tile] {
+                        self.down[event.tile] = false;
+                        self.live += 1;
+                        self.recover_events += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            self.min_live = self.min_live.min(self.live);
+            if applied {
+                if let Some(t) = telemetry {
+                    let name = match event.kind {
+                        TileFaultKind::Fail => "inject",
+                        TileFaultKind::Recover => "recover",
+                    };
+                    t.record_instant(
+                        "fault",
+                        name.to_string(),
+                        event.tile as u64,
+                        event.cycle,
+                        vec![("tile", event.tile as u64), ("live", self.live as u64)],
+                    );
+                    t.metrics().incr(&format!("serve.faults.tile_{name}"), 1);
+                }
+            }
+        }
+    }
+
+    /// Charges the availability integral up to `cycle` at the current live
+    /// count (no-op when `cycle` is not ahead of the charged point).
+    fn charge(&mut self, cycle: u64) {
+        if cycle > self.last_cycle {
+            self.integral += u128::from(cycle - self.last_cycle) * self.live as u128;
+            self.last_cycle = cycle;
+        }
+    }
+}
+
 /// Runs a serving workload on the runner's pool and cache and returns the
 /// full cycle-accounted report. See the module docs for the two-phase
 /// design; the short version is that `runner.threads()` changes only
@@ -854,84 +1120,156 @@ fn free_tile_gang(tile_free_at: &[u64], take: usize) -> (Vec<usize>, u64) {
 ///
 /// # Panics
 ///
-/// Panics if `suite` is empty, the rate is not positive, or
-/// `options.servers` is zero.
+/// Panics if `suite` is empty, the rate is not positive, `options.servers`
+/// is zero, `options.slo_headroom` is not a positive finite number, the
+/// retry backoff base is zero while retries are enabled, or the fault plan
+/// fails validation against `options.servers` (out-of-range tiles,
+/// sub-100% slow multipliers, a fail rate outside `[0, 1]`).
 pub fn run_serving(
     runner: &SuiteRunner,
     suite: &[TaskDescriptor],
     options: &ServingOptions,
 ) -> ServingReport {
     assert!(options.servers > 0, "serving needs at least one tile");
+    assert!(
+        options.slo_headroom.is_finite() && options.slo_headroom > 0.0,
+        "SLO headroom must be a positive finite factor, got {}",
+        options.slo_headroom
+    );
+    assert!(
+        options.retry_max == 0 || options.backoff_base_cycles >= 1,
+        "retry backoff base must be at least 1 cycle"
+    );
+    let fault_plan = match &options.faults {
+        Some(plan) => plan
+            .clone()
+            .validated(options.servers)
+            .expect("fault plan failed validation"), // lint:allow(panic-in-library, reason = "documented panic contract: the CLI validates plans at parse time, so a library caller reaching this handed over an invalid plan")
+        None => FaultPlan::default(),
+    };
+    let ft_active = options.fault_tolerance_active();
     // lint:allow(wall-clock-in-virtual-path, reason = "wall-seconds run footer only; the serving clock and every latency figure are virtual cycles")
     let start = Instant::now();
     let requests = generate_requests(suite, options);
 
-    // --- Phase 1: execute. Ground-truth service cycles per *distinct* task
-    // (requests repeating a task share the result), in parallel on the
-    // pool. Service time is the **layer makespan** of the task's placement
-    // plan: every head sharded per its planned split, shard cycles charged
-    // to the planned tiles, busiest tile wins. The plan is a pure function
-    // of (task, pipeline options), so replaying it here and in the suite
-    // engine yields the same decomposition.
+    // --- Phase 1: execute. Ground-truth service cycles per *distinct*
+    // (plan width, task) pair — requests repeating a task share the
+    // result — in parallel on the pool (see `measure_layer_makespans`).
+    // Service time is the **layer makespan** of the task's placement plan
+    // at the width its gang actually spans. A fault-free run has exactly
+    // one width (the configured tile count); tile fail/recover events add
+    // the reduced widths the live set can shrink to while
+    // capacity-constrained, pre-simulated here so the replay stays a pure
+    // lookup.
     let mut used: Vec<usize> = requests.iter().map(|r| r.task_index).collect();
     used.sort_unstable();
     used.dedup();
-    let cache = Arc::clone(runner.cache());
-    let pipeline = options.pipeline;
-    let config = options.config;
-    let tiles = pipeline.tiles.max(1);
-    let tasks: Vec<TaskDescriptor> = used.iter().map(|&i| suite[i].clone()).collect();
-    let telemetry = runner.telemetry().cloned();
-    let execute_telemetry = telemetry.clone();
-    let service: Vec<u64> = parallel_map(runner.pool(), tasks, move |_, task| {
-        // lint:allow(wall-clock-in-virtual-path, reason = "wall-seconds telemetry span around ground-truth execution; virtual-time replay never reads it")
-        let execute_start = Instant::now();
-        let plan = plan_task_layer(task, &pipeline, &config, tiles);
-        let mut tile_busy = vec![0u64; tiles];
-        for head in 0..pipeline.heads.max(1) {
-            let workload = cache.head_workload(task, &pipeline, head);
-            let tiled = simulate_head_tiled(&workload, &config, plan.split(head));
-            for (shard, &tile) in plan.shard_tiles[head].iter().enumerate() {
-                tile_busy[tile] += tiled.tile_cycles[shard];
+    let tiles = options.pipeline.tiles.max(1);
+    let gang_size = tiles.min(options.servers);
+    let mut widths: Vec<usize> = vec![tiles];
+    if fault_plan.has_tile_events() {
+        // Walk the event timeline once to enumerate every live count the
+        // run can see; widths below the gang size constrain capacity and
+        // need their own ground truth.
+        let mut down = vec![false; options.servers];
+        let mut live = options.servers;
+        for event in &fault_plan.tile_events {
+            match event.kind {
+                TileFaultKind::Fail => {
+                    if !down[event.tile] {
+                        down[event.tile] = true;
+                        live -= 1;
+                    }
+                }
+                TileFaultKind::Recover => {
+                    if down[event.tile] {
+                        down[event.tile] = false;
+                        live += 1;
+                    }
+                }
+            }
+            if live > 0 && live < gang_size {
+                widths.push(live);
             }
         }
-        let cycles = tile_busy.iter().copied().max().unwrap_or(0).max(1);
-        if let Some(t) = &execute_telemetry {
-            t.record_wall_span(
-                "execute",
-                task.name.clone(),
-                execute_start,
-                vec![("task", task.id as u64)],
-            );
-            t.metrics().incr("serve.tasks.executed", 1);
-        }
-        cycles
-    });
-    let service_of = |task_index: usize| -> u64 {
-        service[used.binary_search(&task_index).expect("task was executed")] // lint:allow(panic-in-library, reason = "`used` is built from exactly the task indices the requests reference, so the binary search cannot miss")
+        widths.sort_unstable();
+        widths.dedup();
+    }
+    let tasks: Vec<TaskDescriptor> = used.iter().map(|&i| suite[i].clone()).collect();
+    let jobs: Vec<(usize, TaskDescriptor)> = widths
+        .iter()
+        .flat_map(|&width| tasks.iter().map(move |task| (width, task.clone())))
+        .collect();
+    let service = measure_layer_makespans(runner, jobs, &options.pipeline, &options.config);
+    let telemetry = runner.telemetry().cloned();
+    let task_pos = |task_index: usize| -> usize {
+        used.binary_search(&task_index).expect("task was executed") // lint:allow(panic-in-library, reason = "`used` is built from exactly the task indices the requests reference, so the binary search cannot miss")
+    };
+    let width_pos = |width: usize| -> usize {
+        widths
+            .binary_search(&width)
+            .expect("plan width was measured") // lint:allow(panic-in-library, reason = "`widths` enumerates every live count the event timeline can produce, so the replay cannot ask for an unmeasured width")
+    };
+    let service_at = |width: usize, task_index: usize| {
+        service[width_pos(width) * used.len() + task_pos(task_index)]
     };
 
     // --- Phase 2: replay the arrival process in virtual time. Predictions,
-    // like service cycles, are per distinct task and come from the same
-    // layer plan (its predicted makespan — the quantity placement
+    // like service cycles, are per distinct (width, task) and come from the
+    // same layer plan (its predicted makespan — the quantity placement
     // optimized), so the scheduler's view shrinks with the tile count just
     // as service does; requests share them.
-    let predicted_of: Vec<u64> = used
+    let predicted_table: Vec<u64> = widths
         .iter()
-        .map(|&i| {
-            plan_task_layer(&suite[i], &options.pipeline, &options.config, tiles)
-                .predicted_makespan_cycles()
+        .flat_map(|&width| {
+            used.iter().map(move |&i| {
+                plan_task_layer(&suite[i], &options.pipeline, &options.config, width)
+                    .predicted_makespan_cycles()
+            })
         })
         .collect();
+    let predicted_at = |width: usize, task_index: usize| {
+        predicted_table[width_pos(width) * used.len() + task_pos(task_index)]
+    };
+    // Degradation ladder prices, plan-only (no simulation): the predicted
+    // makespan at each tightened pruning rate, per (width, task, level).
+    let degrade_levels = if options.degrade { DEGRADE_LEVELS } else { 0 };
+    let degraded_table: Vec<u64> = widths
+        .iter()
+        .flat_map(|&width| {
+            used.iter().flat_map(move |&i| {
+                (1..=degrade_levels).map(move |level| {
+                    let rate = degraded_pruning_rate(suite[i].paper_pruning_rate as f64, level);
+                    plan_task_layer_at_rate(
+                        &suite[i],
+                        &options.pipeline,
+                        &options.config,
+                        width,
+                        rate,
+                    )
+                    .predicted_makespan_cycles()
+                })
+            })
+        })
+        .collect();
+    let degraded_predicted_at = |width: usize, task_index: usize, level: u32| {
+        degraded_table[(width_pos(width) * used.len() + task_pos(task_index))
+            * degrade_levels as usize
+            + (level - 1) as usize]
+    };
     let predicted: Vec<u64> = requests
         .iter()
-        .map(|r| {
-            predicted_of[used
-                .binary_search(&r.task_index)
-                .expect("task was executed")] // lint:allow(panic-in-library, reason = "`used` is built from exactly the task indices the requests reference, so the binary search cannot miss")
-        })
+        .map(|r| predicted_at(tiles, r.task_index))
         .collect();
     let mut ready = ReadyQueue::new(options.policy);
+    let mut deferred = DeferralQueue::new();
+    let mut attempts: Vec<u32> = vec![0; requests.len()];
+    let mut live_tiles = LiveTiles::new(options.servers);
+    let mut next_event = 0usize;
+    let mut transient_faults = 0u64;
+    let mut slo_deferrals = 0u64;
+    let mut degraded_count = 0u64;
+    let mut shed_after_retries = 0u64;
     let mut tile_free_at = vec![0u64; options.servers];
     let mut next_arrival = 0usize;
     let mut records: Vec<Option<RequestRecord>> = vec![None; requests.len()];
@@ -962,11 +1300,24 @@ pub fn run_serving(
     // instead of dispatched — the controller sees only cost-model
     // predictions (padded by SLO_PREDICTION_HEADROOM against residual
     // model error), never ground truth.
-    let gang_size = tiles.min(options.servers);
     let mut clock = 0u64;
     loop {
-        while !ready.is_empty() {
-            let (gang, free_at) = free_tile_gang(&tile_free_at, gang_size);
+        // Fault events and due retries settle before any dispatch at this
+        // instant: liveness changes at cycle C are visible to dispatches
+        // at C, and a request whose backoff expires at C re-enters the
+        // policy queue at C.
+        live_tiles.apply_until(
+            clock,
+            &fault_plan.tile_events,
+            &mut next_event,
+            telemetry.as_deref(),
+        );
+        while let Some(job) = deferred.pop_ready(clock) {
+            ready.push(job);
+        }
+        while !ready.is_empty() && live_tiles.live > 0 {
+            let take = gang_size.min(live_tiles.live);
+            let (gang, free_at) = free_tile_gang(&tile_free_at, &live_tiles.down, take);
             if free_at > clock {
                 break;
             }
@@ -975,9 +1326,51 @@ pub fn run_serving(
             let job = ready.pop().expect("queue checked non-empty"); // lint:allow(panic-in-library, reason = "the dispatch loop only reaches this pop after checking the ready queue is non-empty")
             let request = requests[job.index];
             let task = &suite[request.task_index];
-            if let Some(slo) = options.slo_cycles {
-                let padded = (job.predicted_cycles as f64 * SLO_PREDICTION_HEADROOM) as u64;
-                if clock + padded > request.arrival_cycle + slo {
+            let attempt = attempts[job.index];
+            // The plan width the gang spans: full-capacity plans use the
+            // configured tile count; below it, the whole live set.
+            let width = if live_tiles.live >= gang_size {
+                tiles
+            } else {
+                live_tiles.live
+            };
+            // Transient dispatch fault? Decided by the counter-addressed
+            // seeded stream — a pure function of (request, attempt), so
+            // retry reordering never perturbs the pattern.
+            if fault_plan.transient_fails(job.index, attempt) {
+                transient_faults += 1;
+                if let Some(t) = &telemetry {
+                    t.record_instant(
+                        "fault",
+                        "transient".to_string(),
+                        options.servers as u64,
+                        clock,
+                        vec![("id", request.id as u64), ("attempt", u64::from(attempt))],
+                    );
+                    t.metrics().incr("serve.faults.transient", 1);
+                }
+                if attempt < options.retry_max {
+                    attempts[job.index] = attempt + 1;
+                    let delay =
+                        fault_plan.backoff_cycles(options.backoff_base_cycles, job.index, attempt);
+                    if let Some(t) = &telemetry {
+                        // The retry span is the deferral window, rendered
+                        // on the lane past the last tile.
+                        t.record_virtual_span(
+                            "retry",
+                            task.name.clone(),
+                            options.servers as u64,
+                            clock,
+                            delay,
+                            vec![
+                                ("id", request.id as u64),
+                                ("attempt", u64::from(attempt + 1)),
+                            ],
+                        );
+                        t.metrics().incr("serve.retries", 1);
+                    }
+                    deferred.defer(job, clock.saturating_add(delay));
+                } else {
                     shed.push(ShedRecord {
                         id: request.id,
                         task_id: task.id,
@@ -985,10 +1378,12 @@ pub fn run_serving(
                         arrival_cycle: request.arrival_cycle,
                         shed_cycle: clock,
                         predicted_cycles: job.predicted_cycles,
+                        attempts: attempt,
                     });
+                    if attempt > 0 {
+                        shed_after_retries += 1;
+                    }
                     if let Some(t) = &telemetry {
-                        // Sheds render as instants on the lane past the
-                        // last tile — they never occupied one.
                         t.record_instant(
                             "shed",
                             task.name.clone(),
@@ -999,12 +1394,118 @@ pub fn run_serving(
                                 ("predicted", job.predicted_cycles),
                             ],
                         );
-                        t.metrics().incr("serve.shed.predicted_slo_miss", 1);
+                        t.metrics().incr("serve.shed.transient_fault", 1);
                     }
-                    continue;
+                }
+                continue;
+            }
+            // SLO admission: shed-only runs keep the original semantics;
+            // with fault tolerance, a predicted miss first tries the
+            // degradation ladder, then a deferral, and sheds only with
+            // the retry budget exhausted.
+            let mut level = 0u32;
+            if let Some(slo) = options.slo_cycles {
+                let deadline = request.arrival_cycle + slo;
+                let predicted_now = predicted_at(width, request.task_index);
+                let padded = (predicted_now as f64 * options.slo_headroom) as u64;
+                if clock + padded > deadline {
+                    if options.degrade {
+                        for candidate in 1..=DEGRADE_LEVELS {
+                            let degraded_predicted =
+                                degraded_predicted_at(width, request.task_index, candidate);
+                            let degraded_padded =
+                                (degraded_predicted as f64 * options.slo_headroom) as u64;
+                            if clock + degraded_padded <= deadline {
+                                level = candidate;
+                                break;
+                            }
+                        }
+                    }
+                    if level == 0 {
+                        if attempt < options.retry_max {
+                            attempts[job.index] = attempt + 1;
+                            slo_deferrals += 1;
+                            let delay = fault_plan.backoff_cycles(
+                                options.backoff_base_cycles,
+                                job.index,
+                                attempt,
+                            );
+                            if let Some(t) = &telemetry {
+                                t.record_virtual_span(
+                                    "retry",
+                                    task.name.clone(),
+                                    options.servers as u64,
+                                    clock,
+                                    delay,
+                                    vec![
+                                        ("id", request.id as u64),
+                                        ("attempt", u64::from(attempt + 1)),
+                                    ],
+                                );
+                                t.metrics().incr("serve.retries", 1);
+                            }
+                            deferred.defer(job, clock.saturating_add(delay));
+                            continue;
+                        }
+                        shed.push(ShedRecord {
+                            id: request.id,
+                            task_id: task.id,
+                            task_name: task.name.clone(),
+                            arrival_cycle: request.arrival_cycle,
+                            shed_cycle: clock,
+                            predicted_cycles: job.predicted_cycles,
+                            attempts: attempt,
+                        });
+                        if attempt > 0 {
+                            shed_after_retries += 1;
+                        }
+                        if let Some(t) = &telemetry {
+                            // Sheds render as instants on the lane past the
+                            // last tile — they never occupied one.
+                            t.record_instant(
+                                "shed",
+                                task.name.clone(),
+                                options.servers as u64,
+                                clock,
+                                vec![
+                                    ("id", request.id as u64),
+                                    ("predicted", job.predicted_cycles),
+                                ],
+                            );
+                            if attempt > 0 {
+                                t.metrics().incr("serve.shed.retries_exhausted", 1);
+                            } else {
+                                t.metrics().incr("serve.shed.predicted_slo_miss", 1);
+                            }
+                        }
+                        continue;
+                    }
                 }
             }
-            let service_cycles = service_of(request.task_index);
+            let base_service = service_at(width, request.task_index);
+            let mut service_cycles = if level == 0 {
+                base_service
+            } else {
+                // Degraded ground truth: the base makespan scaled by the
+                // cost model's own degraded/full prediction ratio —
+                // integer arithmetic, so deterministic across platforms.
+                degraded_count += 1;
+                let full = predicted_at(width, request.task_index).max(1);
+                let cheap = degraded_predicted_at(width, request.task_index, level);
+                ((u128::from(base_service) * u128::from(cheap) / u128::from(full)).max(1)) as u64
+            };
+            // A gang advances at its slowest member's pace: the worst slow
+            // multiplier across the gang stretches the service (ceiling
+            // division keeps it integer cycles).
+            let slow_pct = gang
+                .iter()
+                .map(|&tile| fault_plan.slow_pct(tile))
+                .max()
+                .unwrap_or(100);
+            if slow_pct > 100 {
+                service_cycles =
+                    (u128::from(service_cycles) * u128::from(slow_pct)).div_ceil(100) as u64;
+            }
             let finish = clock + service_cycles;
             for &tile in &gang {
                 tile_free_at[tile] = finish;
@@ -1027,6 +1528,16 @@ pub fn run_serving(
                         ("predicted", job.predicted_cycles),
                     ],
                 );
+                if level > 0 {
+                    t.record_instant(
+                        "degrade",
+                        task.name.clone(),
+                        gang[0] as u64,
+                        clock,
+                        vec![("id", request.id as u64), ("level", u64::from(level))],
+                    );
+                    t.metrics().incr("serve.degraded", 1);
+                }
             }
             queue_samples.push(QueueSample {
                 cycle: clock,
@@ -1041,6 +1552,8 @@ pub fn run_serving(
                 finish_cycle: finish,
                 predicted_cycles: job.predicted_cycles,
                 service_cycles,
+                attempts: attempt,
+                degraded: level,
             });
         }
         // Time-series sample at the settled instant (each clock value
@@ -1059,19 +1572,75 @@ pub fn run_serving(
                 t.record_counter("in_flight", clock, in_flight as u64);
             }
         }
-        // Advance to the next event. The dispatch-relevant instant is when
-        // a whole gang is free, not when the first tile frees up.
-        let (_, next_free) = free_tile_gang(&tile_free_at, gang_size);
-        let admit_until = match (next_arrival < requests.len(), ready.is_empty()) {
-            // Arrivals remain: take the next one unless a tile frees first
-            // while work is already queued.
-            (true, true) => requests[next_arrival].arrival_cycle,
-            (true, false) => requests[next_arrival].arrival_cycle.min(next_free),
-            // No arrivals left: drain the queue as tiles free up.
-            (false, false) => next_free,
-            (false, true) => break,
+        // Advance to the next event: the earliest of the next arrival, the
+        // next whole-gang-free instant (only meaningful with queued work
+        // and live tiles), the next due retry, and the next tile fault
+        // event (only while work remains to be affected by it).
+        let earlier = |next: Option<u64>, candidate: u64| -> Option<u64> {
+            Some(next.map_or(candidate, |n| n.min(candidate)))
         };
-        clock = clock.max(admit_until);
+        let mut next_clock: Option<u64> = None;
+        if next_arrival < requests.len() {
+            next_clock = earlier(next_clock, requests[next_arrival].arrival_cycle);
+        }
+        if !ready.is_empty() && live_tiles.live > 0 {
+            let take = gang_size.min(live_tiles.live);
+            let (_, next_free) = free_tile_gang(&tile_free_at, &live_tiles.down, take);
+            next_clock = earlier(next_clock, next_free);
+        }
+        if let Some(ready_cycle) = deferred.next_ready_cycle() {
+            next_clock = earlier(next_clock, ready_cycle);
+        }
+        let work_remains =
+            next_arrival < requests.len() || !ready.is_empty() || !deferred.is_empty();
+        if work_remains && next_event < fault_plan.tile_events.len() {
+            next_clock = earlier(next_clock, fault_plan.tile_events[next_event].cycle);
+        }
+        let Some(target) = next_clock else {
+            if work_remains {
+                // Permanent outage: every live tile is down with no
+                // recovery ahead, arrivals are exhausted, and no retry can
+                // ever dispatch. Shed the stranded requests
+                // deterministically — ready queue in policy order, then
+                // deferrals in (ready cycle, arrival) order.
+                let mut stranded: Vec<PredictedJob> = Vec::new();
+                while let Some(job) = ready.pop() {
+                    stranded.push(job);
+                }
+                stranded.extend(deferred.drain_all());
+                for job in stranded {
+                    let request = requests[job.index];
+                    let task = &suite[request.task_index];
+                    shed.push(ShedRecord {
+                        id: request.id,
+                        task_id: task.id,
+                        task_name: task.name.clone(),
+                        arrival_cycle: request.arrival_cycle,
+                        shed_cycle: clock,
+                        predicted_cycles: job.predicted_cycles,
+                        attempts: attempts[job.index],
+                    });
+                    if attempts[job.index] > 0 {
+                        shed_after_retries += 1;
+                    }
+                    if let Some(t) = &telemetry {
+                        t.record_instant(
+                            "shed",
+                            task.name.clone(),
+                            options.servers as u64,
+                            clock,
+                            vec![
+                                ("id", request.id as u64),
+                                ("predicted", job.predicted_cycles),
+                            ],
+                        );
+                        t.metrics().incr("serve.shed.no_live_tiles", 1);
+                    }
+                }
+            }
+            break;
+        };
+        clock = clock.max(target);
         depth_cycle_integral += u128::from(clock - depth_last_cycle) * ready.len() as u128;
         depth_last_cycle = clock;
         while next_arrival < requests.len() && requests[next_arrival].arrival_cycle <= clock {
@@ -1092,6 +1661,15 @@ pub fn run_serving(
         .max()
         .unwrap_or(0)
         .max(clock);
+    // Settle the availability integral to the end of the observed span,
+    // applying any tile events that fire while the last requests drain.
+    live_tiles.apply_until(
+        observed_cycles,
+        &fault_plan.tile_events,
+        &mut next_event,
+        telemetry.as_deref(),
+    );
+    live_tiles.charge(observed_cycles);
 
     if let Some(t) = &telemetry {
         let metrics = t.metrics();
@@ -1113,7 +1691,31 @@ pub fn run_serving(
                 record.latency_cycles(),
             );
         }
+        // Fault-tolerance gauges only exist when the machinery ran, so
+        // fault-free metric snapshots stay byte-identical to the plain
+        // engine's.
+        if ft_active {
+            metrics.set_gauge("serve.deferred.peak", deferred.peak_len() as f64);
+            metrics.set_gauge("serve.deferred.total", deferred.deferrals() as f64);
+            metrics.set_gauge("serve.tiles.min_live", live_tiles.min_live as f64);
+        }
     }
+
+    let fault_summary = ft_active.then(|| FaultSummary {
+        retry_max: options.retry_max,
+        backoff_base_cycles: options.backoff_base_cycles,
+        degrade: options.degrade,
+        fail_rate: fault_plan.fail_rate,
+        transient_faults,
+        retries: deferred.deferrals(),
+        slo_deferrals,
+        degraded: degraded_count,
+        shed_after_retries,
+        tile_fail_events: live_tiles.fail_events,
+        tile_recover_events: live_tiles.recover_events,
+        min_live_tiles: live_tiles.min_live,
+        live_cycle_integral: live_tiles.integral,
+    });
 
     ServingReport {
         policy: options.policy,
@@ -1135,6 +1737,7 @@ pub fn run_serving(
         wall: start.elapsed(),
         cache: runner.cache().stats(),
         metrics: telemetry.as_ref().map(|t| t.metrics().snapshot()),
+        fault_summary,
     }
 }
 

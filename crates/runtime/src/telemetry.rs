@@ -28,6 +28,31 @@
 //! `chrome://tracing`. Process 1 holds the wall-clock pool spans (one
 //! track per worker), process 2 the virtual-clock serving spans (one
 //! track per tile, timestamps in cycles).
+//!
+//! # Serve fault-tolerance taxonomy
+//!
+//! Serving runs with the fault layer active (see [`crate::faults`]) emit,
+//! under the same observe-only contract:
+//!
+//! * **Virtual instants** — category `fault`: `inject`/`recover` on the
+//!   failed tile's lane (args `tile`, `live`) when a tile-fault event
+//!   fires, and `transient` on the shed lane (args `id`, `attempt`) when
+//!   a dispatch draw fails. Category `degrade`: one instant named after
+//!   the task on the gang's lead-tile lane (args `id`, `level`) when a
+//!   request is served at a tightened-pruning level.
+//! * **Virtual spans** — category `retry`: one span per deferral, named
+//!   after the task, on the shed lane, from the deferral cycle for the
+//!   backoff duration (args `id`, `attempt`).
+//! * **Metrics** — counters `serve.faults.tile_inject`,
+//!   `serve.faults.tile_recover`, `serve.faults.transient`,
+//!   `serve.retries`, `serve.degraded`, and the shed-cause counters
+//!   `serve.shed.transient_fault` / `serve.shed.retries_exhausted` /
+//!   `serve.shed.no_live_tiles` (alongside the existing
+//!   `serve.shed.predicted_slo_miss`); gauges `serve.deferred.peak`,
+//!   `serve.deferred.total`, and `serve.tiles.min_live`.
+//!
+//! With the fault layer off none of these names appear, keeping traces
+//! and metrics snapshots byte-identical to pre-fault runs.
 
 use crate::pool::current_worker_index;
 use std::collections::BTreeMap;

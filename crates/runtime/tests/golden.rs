@@ -124,6 +124,61 @@ fn serve_reports_match_golden_fixtures() {
 }
 
 #[test]
+fn faulted_serve_reports_match_golden_fixtures() {
+    // Pins the fault-tolerance layer end to end: a transient-fault stream,
+    // a mid-run two-event tile outage, a slow tile, retries with backoff,
+    // and SLO degradation. A change to the fault PRF, the backoff rule,
+    // the degradation ladder, the topology-aware replan, or the report's
+    // fault_tolerance block moves these bytes.
+    use leopard_runtime::faults::{FaultPlan, SlowTile, TileFaultEvent, TileFaultKind};
+    let suite: Vec<TaskDescriptor> = full_suite().into_iter().take(8).collect();
+    let runner = SuiteRunner::new(2);
+    let options = ServingOptions {
+        requests: 16,
+        servers: 4,
+        slo_cycles: Some(1_200),
+        retry_max: 2,
+        backoff_base_cycles: 64,
+        degrade: true,
+        faults: Some(FaultPlan {
+            seed: 7,
+            fail_rate: 0.25,
+            tile_events: vec![
+                TileFaultEvent {
+                    cycle: 300,
+                    tile: 1,
+                    kind: TileFaultKind::Fail,
+                },
+                TileFaultEvent {
+                    cycle: 900,
+                    tile: 1,
+                    kind: TileFaultKind::Recover,
+                },
+            ],
+            slow_tiles: vec![SlowTile {
+                tile: 3,
+                multiplier_pct: 150,
+            }],
+        }),
+        pipeline: pinned_pipeline(),
+        ..ServingOptions::default()
+    };
+    let report = run_serving(&runner, &suite, &options);
+    let summary = report.fault_summary.as_ref().expect("fault layer active");
+    // The fixture must actually exercise the machinery it pins.
+    assert!(summary.transient_faults > 0, "no transient faults drawn");
+    assert!(summary.retries > 0, "no retries happened");
+    assert_eq!(summary.tile_fail_events, 1);
+    assert_eq!(summary.tile_recover_events, 1);
+    assert_eq!(summary.min_live_tiles, 3);
+    assert_golden("serve_faulted.csv", &serving_requests_csv(&report));
+    assert_golden(
+        "serve_faulted.json",
+        &mask_timing(&serving_report_json(&report)),
+    );
+}
+
+#[test]
 fn tiled_serve_report_matches_golden_fixture() {
     // Pins the 2-tile schedule's service-cycle accounting: a change to the
     // tile partition, the shard merge, or the makespan rule moves these

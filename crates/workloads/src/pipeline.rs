@@ -326,6 +326,23 @@ pub fn plan_task_layer(
     config: &TileConfig,
     tiles: usize,
 ) -> LayerPlan {
+    plan_task_layer_at_rate(task, options, config, tiles, task.paper_pruning_rate as f64)
+}
+
+/// [`plan_task_layer`] at an explicit pruning rate instead of the task's
+/// paper-reported one. The serving engine's graceful-degradation
+/// controller plans with a tightened rate
+/// (`leopard_accel::cost::degraded_pruning_rate`) to price degraded
+/// service levels; everything else about the plan — canonical order,
+/// split widening, placement policy — is identical, so degraded plans
+/// keep the layer-conformance contract.
+pub fn plan_task_layer_at_rate(
+    task: &TaskDescriptor,
+    options: &PipelineOptions,
+    config: &TileConfig,
+    tiles: usize,
+    rate: f64,
+) -> LayerPlan {
     let heads = options.heads.max(1);
     let seq_len = sim_seq_len(task, options);
     let planned: Vec<PlannedHead> = (0..heads)
@@ -335,7 +352,6 @@ pub fn plan_task_layer(
         })
         .collect();
     let family = task.family.name();
-    let rate = task.paper_pruning_rate as f64;
     plan_layer(&planned, tiles.max(1), options.placement, |s, split| {
         fitted_cost_model().predict_head_cycles_tiled(family, config, s, rate, split)
     })

@@ -4,13 +4,15 @@
 # Reruns the kernel micro-benchmark (`kernel_bench`, wall-clock speedup of
 # the incremental bit-plane QK kernel over the reference DPU), the tile
 # scaling ablation (`tile_scaling`, virtual-cycle makespan speedup at 8
-# tiles), and the layer-placement ablation (`layer_placement`, LPT-vs-
-# round-robin makespan speedup on a ragged 12-head layer at 4 tiles), then
-# fails if any speedup lands below 85% of the value committed in
-# BENCH_qk_kernel.json / BENCH_tiles.json / BENCH_layer_sched.json. On
-# success the new points are appended to BENCH_trajectory.jsonl so the
-# trajectory accumulates run over run instead of living only in git
-# history.
+# tiles), the layer-placement ablation (`layer_placement`, LPT-vs-
+# round-robin makespan speedup on a ragged 12-head layer at 4 tiles), and
+# the fault-recovery ablation (`fault_recovery`, goodput recovery of
+# retries + graceful degradation over shed-only under the checked-in
+# fault plan), then fails if any speedup lands below 85% of the value
+# committed in BENCH_qk_kernel.json / BENCH_tiles.json /
+# BENCH_layer_sched.json / BENCH_fault_recovery.json. On success the new
+# points are appended to BENCH_trajectory.jsonl so the trajectory
+# accumulates run over run instead of living only in git history.
 #
 # The committed baselines are read BEFORE the examples run, because both
 # examples rewrite their BENCH file in place.
@@ -20,12 +22,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # A guard without a baseline is a no-op that looks green — refuse to run.
-for baseline in BENCH_qk_kernel.json BENCH_tiles.json BENCH_layer_sched.json; do
+for baseline in BENCH_qk_kernel.json BENCH_tiles.json BENCH_layer_sched.json BENCH_fault_recovery.json; do
   if [ ! -f "$baseline" ]; then
     echo "perf_guard: missing committed baseline '$baseline'." >&2
     echo "perf_guard: regenerate and commit it first — kernel_bench writes BENCH_qk_kernel.json," >&2
     echo "perf_guard: tile_scaling writes BENCH_tiles.json, layer_placement writes" >&2
-    echo "perf_guard: BENCH_layer_sched.json (cargo run --release --example <name>)" >&2
+    echo "perf_guard: BENCH_layer_sched.json, fault_recovery writes BENCH_fault_recovery.json" >&2
+    echo "perf_guard: (cargo run --release --example <name>)" >&2
     exit 1
   fi
 done
@@ -38,19 +41,22 @@ speedup_of() {
 base_kernel=$(speedup_of BENCH_qk_kernel.json)
 base_tiles=$(speedup_of BENCH_tiles.json)
 base_layer=$(speedup_of BENCH_layer_sched.json)
-if [ -z "$base_kernel" ] || [ -z "$base_tiles" ] || [ -z "$base_layer" ]; then
+base_fault=$(speedup_of BENCH_fault_recovery.json)
+if [ -z "$base_kernel" ] || [ -z "$base_tiles" ] || [ -z "$base_layer" ] || [ -z "$base_fault" ]; then
   echo "perf_guard: baseline file present but contains no \"speedup\" entry — corrupt baseline?" >&2
   exit 1
 fi
-echo "committed baselines: kernel ${base_kernel}x, 8-tile makespan ${base_tiles}x, lpt-vs-rr ${base_layer}x"
+echo "committed baselines: kernel ${base_kernel}x, 8-tile makespan ${base_tiles}x, lpt-vs-rr ${base_layer}x, fault recovery ${base_fault}x"
 
 cargo run --release --example kernel_bench
 cargo run --release --example tile_scaling
 cargo run --release --example layer_placement
+cargo run --release --example fault_recovery
 
 new_kernel=$(speedup_of BENCH_qk_kernel.json)
 new_tiles=$(speedup_of BENCH_tiles.json)
 new_layer=$(speedup_of BENCH_layer_sched.json)
+new_fault=$(speedup_of BENCH_fault_recovery.json)
 
 # check NAME BASE NEW — fails when NEW < 0.85 * BASE.
 check() {
@@ -68,6 +74,7 @@ check() {
 check "kernel_bench" "$base_kernel" "$new_kernel"
 check "tile_scaling (8 tiles)" "$base_tiles" "$new_tiles"
 check "layer_placement (lpt vs rr)" "$base_layer" "$new_layer"
+check "fault_recovery (resilient vs shed-only goodput)" "$base_fault" "$new_fault"
 
 recorded=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 {
@@ -77,5 +84,7 @@ recorded=$(date -u +%Y-%m-%dT%H:%M:%SZ)
     "$new_tiles" "$base_tiles" "$recorded"
   printf '{"bench": "layer_sched_lpt_vs_rr", "speedup": %s, "baseline": %s, "recorded": "%s"}\n' \
     "$new_layer" "$base_layer" "$recorded"
+  printf '{"bench": "fault_recovery_goodput", "speedup": %s, "baseline": %s, "recorded": "%s"}\n' \
+    "$new_fault" "$base_fault" "$recorded"
 } >> BENCH_trajectory.jsonl
-echo "appended 3 points to BENCH_trajectory.jsonl"
+echo "appended 4 points to BENCH_trajectory.jsonl"
