@@ -1,5 +1,6 @@
-//! The incremental bit-plane QK kernel — the fast path of the simulator's
-//! inner loop.
+//! The incremental bit-plane QK kernel — the retained v1 per-pair path,
+//! kept as a differential oracle and fallback under the batched
+//! [`kernel_v2`](crate::kernel_v2) hot path.
 //!
 //! [`QkDpu::compute`](crate::dpu::QkDpu::compute) re-derives the partial dot
 //! product *and* the conservative margin from scratch (two O(d) passes) on
@@ -26,6 +27,12 @@
 //! to the reference DPU — the differential property tests at the bottom of
 //! this file and the `kernel ≡ reference` contract in ARCHITECTURE.md pin
 //! that equivalence across all tile presets and bit-serial granularities.
+//!
+//! Since kernel v2 landed, [`crate::sim::simulate_head`] runs the batched
+//! SoA kernel ([`crate::kernel_v2::QkKernelV2`]) instead; this per-pair
+//! kernel stays wired through [`crate::sim::simulate_head_pairwise`] as a
+//! second oracle between the DPU and v2, and handles the out-of-range
+//! Q-row fallback inside v2 itself.
 
 use crate::config::TileConfig;
 use crate::dpu::DotProductOutcome;

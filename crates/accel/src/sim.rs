@@ -12,12 +12,14 @@
 //! The simulator's outputs are cycle counts, event counts (for the energy
 //! model), per-row utilization, and the bit-profile histogram behind Figure 8.
 //!
-//! Two interchangeable inner loops produce the per-pair dot-product
-//! outcomes: [`simulate_head`] runs the incremental bit-plane kernel
-//! ([`crate::kernel`]), [`simulate_head_reference`] the scalar per-element
-//! DPU ([`crate::dpu`]). Their results are bit-identical by contract; both
-//! share one accounting loop, so the equivalence reduces to the per-pair
-//! outcomes the differential tests pin down.
+//! Three interchangeable inner loops produce the per-pair dot-product
+//! outcomes: [`simulate_head`] runs the batched bit-parallel v2 kernel
+//! ([`crate::kernel_v2`], runtime-dispatched between a wide and a portable
+//! path), [`simulate_head_pairwise`] the retained v1 per-pair kernel
+//! ([`crate::kernel`]), and [`simulate_head_reference`] the scalar
+//! per-element DPU ([`crate::dpu`]). Their results are bit-identical by
+//! contract; all share one accounting loop, so the equivalence reduces to
+//! the per-pair outcomes the differential tests pin down.
 //!
 //! The accounting loop itself operates at **shard** granularity: a
 //! contiguous range of Q rows yields a [`TileShardSim`], and
@@ -29,13 +31,15 @@
 use crate::config::TileConfig;
 use crate::dpu::{DotProductOutcome, QkDpu};
 use crate::kernel::{QkKernel, RowScratch};
-use leopard_quant::bitserial::BitSerialVector;
+use crate::kernel_v2::{KernelPath, PackedKeys, QkKernelV2, RowScratchV2};
+use leopard_quant::bitserial::{BitSerialPlan, BitSerialVector};
 use leopard_quant::fixed::QuantParams;
 use leopard_quant::planes::KPlanes;
 use leopard_tensor::Matrix;
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
-use std::ops::Range;
+use std::collections::BTreeMap;
+use std::ops::{Deref, Range};
+use std::sync::{Arc, Mutex};
 
 /// A quantized attention-head workload ready for simulation.
 #[derive(Debug, Clone)]
@@ -59,6 +63,66 @@ pub struct HeadWorkload {
     /// it empty (the kernel path then re-decomposes), but stale planes for
     /// *different* same-shape codes cannot be detected cheaply.
     pub k_planes: Vec<KPlanes>,
+    /// Lazily-built derived layouts of `k_codes`, shared across simulation
+    /// units: one K decomposition per *non-native* magnitude width (the
+    /// `k_planes_at` cache — hot in `--param qk-bits` sweeps, which used to
+    /// re-decompose on every call) and one [`PackedKeys`] operand pack per
+    /// bit-serial plan (the batched v2 kernel's input). Cloning a workload
+    /// keeps the cache warm (the entries are `Arc`-shared).
+    ///
+    /// Invariant: like `k_planes`, the cache must stay in sync with
+    /// `k_codes` — build workloads through the constructors rather than
+    /// mutating `k_codes` in place. A struct literal may start it empty
+    /// ([`PlaneCache::default`]); entries are built on first use.
+    pub plane_cache: PlaneCache,
+}
+
+/// The per-workload cache behind [`HeadWorkload::k_planes_at`] and
+/// [`HeadWorkload::packed_keys_at`]: width-keyed K decompositions and
+/// plan-keyed packed kernel operands, both behind `Arc` so concurrent
+/// simulation units share one build.
+#[derive(Debug, Default)]
+pub struct PlaneCache {
+    widths: Mutex<BTreeMap<u32, Arc<Vec<KPlanes>>>>,
+    packed: Mutex<BTreeMap<(u32, u32), Arc<PackedKeys>>>,
+}
+
+impl Clone for PlaneCache {
+    /// Clones the cache *contents* (cheap `Arc` clones), so a cloned
+    /// workload starts warm instead of re-deriving every layout.
+    fn clone(&self) -> Self {
+        // lint:allow(panic-in-library, reason = "mutex poisoning requires a prior panic while holding the lock; the guarded sections only allocate and insert, so propagating the poison panic is the correct failure mode")
+        let widths = self.widths.lock().unwrap().clone();
+        // lint:allow(panic-in-library, reason = "mutex poisoning requires a prior panic while holding the lock; the guarded sections only allocate and insert, so propagating the poison panic is the correct failure mode")
+        let packed = self.packed.lock().unwrap().clone();
+        Self {
+            widths: Mutex::new(widths),
+            packed: Mutex::new(packed),
+        }
+    }
+}
+
+/// A borrowed-or-cached view of a head's K decomposition at some magnitude
+/// width, returned by [`HeadWorkload::k_planes_at`]. Dereferences to
+/// `[KPlanes]` either way.
+#[derive(Debug)]
+pub enum PlanesAt<'a> {
+    /// The workload's prebuilt native-width planes, borrowed directly.
+    Prebuilt(&'a [KPlanes]),
+    /// A cached decomposition at a non-native width, shared behind an
+    /// `Arc` (built at most once per width per workload).
+    Cached(Arc<Vec<KPlanes>>),
+}
+
+impl Deref for PlanesAt<'_> {
+    type Target = [KPlanes];
+
+    fn deref(&self) -> &[KPlanes] {
+        match self {
+            PlanesAt::Prebuilt(planes) => planes,
+            PlanesAt::Cached(planes) => planes,
+        }
+    }
 }
 
 impl HeadWorkload {
@@ -111,6 +175,7 @@ impl HeadWorkload {
             threshold_int,
             head_dim,
             k_planes,
+            plane_cache: PlaneCache::default(),
         }
     }
 
@@ -121,24 +186,59 @@ impl HeadWorkload {
 
     /// The bit-plane decomposition at a given magnitude width: the prebuilt
     /// planes when the width matches (the hot path — every tile preset
-    /// shares the 12-bit operand width), a fresh decomposition otherwise
-    /// (e.g. a workload quantized narrower than the simulated tile).
-    pub fn k_planes_at(&self, magnitude_bits: u32) -> Cow<'_, [KPlanes]> {
+    /// shares the 12-bit operand width), a **cached** decomposition
+    /// otherwise (e.g. a workload quantized narrower than the simulated
+    /// tile). Each non-native width is decomposed at most once per
+    /// workload; repeated calls — hot in `--param qk-bits` sweeps, which
+    /// used to silently re-decompose every time — return the same
+    /// `Arc`-shared planes.
+    pub fn k_planes_at(&self, magnitude_bits: u32) -> PlanesAt<'_> {
         let prebuilt_usable = self.k_planes.len() == self.k_codes.len()
             && self
                 .k_planes
                 .first()
                 .is_none_or(|p| p.magnitude_bits() == magnitude_bits);
         if prebuilt_usable {
-            Cow::Borrowed(&self.k_planes)
+            PlanesAt::Prebuilt(&self.k_planes)
         } else {
-            Cow::Owned(
-                self.k_codes
-                    .iter()
-                    .map(|codes| KPlanes::new(codes, magnitude_bits))
-                    .collect(),
-            )
+            PlanesAt::Cached(self.cached_planes(magnitude_bits))
         }
+    }
+
+    fn cached_planes(&self, magnitude_bits: u32) -> Arc<Vec<KPlanes>> {
+        // lint:allow(panic-in-library, reason = "mutex poisoning requires a prior panic while holding the lock; the guarded section only decomposes and inserts, so propagating the poison panic is the correct failure mode")
+        let mut widths = self.plane_cache.widths.lock().unwrap();
+        if let Some(hit) = widths.get(&magnitude_bits) {
+            return Arc::clone(hit);
+        }
+        let built: Arc<Vec<KPlanes>> = Arc::new(
+            self.k_codes
+                .iter()
+                .map(|codes| KPlanes::new(codes, magnitude_bits))
+                .collect(),
+        );
+        widths.insert(magnitude_bits, Arc::clone(&built));
+        built
+    }
+
+    /// The packed batched-kernel operands ([`PackedKeys`]) for a bit-serial
+    /// plan, built at most once per `(magnitude width, bits per cycle)` per
+    /// workload and shared behind an `Arc` — every row, shard, and repeated
+    /// simulation of this head amortizes one pack.
+    pub fn packed_keys_at(&self, plan: BitSerialPlan) -> Arc<PackedKeys> {
+        let key = (plan.magnitude_bits, plan.bits_per_cycle);
+        // lint:allow(panic-in-library, reason = "mutex poisoning requires a prior panic while holding the lock; the guarded section only packs and inserts, so propagating the poison panic is the correct failure mode")
+        let mut packed = self.plane_cache.packed.lock().unwrap();
+        if let Some(hit) = packed.get(&key) {
+            return Arc::clone(hit);
+        }
+        let planes = match self.k_planes_at(plan.magnitude_bits) {
+            PlanesAt::Prebuilt(prebuilt) => Arc::new(prebuilt.to_vec()),
+            PlanesAt::Cached(cached) => cached,
+        };
+        let built = Arc::new(PackedKeys::pack(planes, plan));
+        packed.insert(key, Arc::clone(&built));
+        built
     }
 }
 
@@ -239,21 +339,44 @@ impl HeadSimResult {
     }
 }
 
-/// Simulates one attention head on a tile, on the fast incremental
-/// bit-plane kernel ([`QkKernel`]). Results are **bit-identical** to
-/// [`simulate_head_reference`] — the kernel ≡ reference contract enforced
-/// by the differential tests.
+/// Simulates one attention head on a tile, on the batched bit-parallel v2
+/// kernel ([`QkKernelV2`]) with the best dispatch path this machine
+/// supports. Results are **bit-identical** to [`simulate_head_reference`]
+/// (and to [`simulate_head_pairwise`], the retained v1 kernel path) — the
+/// kernel ≡ reference contract enforced by the differential tests.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid or the workload is degenerate
 /// (zero-length sequence).
 pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimResult {
+    simulate_head_with_path(workload, config, KernelPath::detect())
+}
+
+/// [`simulate_head`] on an explicitly requested dispatch path (resolved
+/// against the machine — see [`KernelPath::resolve`]). The dispatch-layer
+/// differential tests use this to pin the wide and portable paths
+/// byte-identical on the same inputs.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the workload is degenerate
+/// (zero-length sequence).
+pub fn simulate_head_with_path(
+    workload: &HeadWorkload,
+    config: &TileConfig,
+    path: KernelPath,
+) -> HeadSimResult {
     assert!(
         workload.seq_len() > 0,
         "workload must contain at least one query"
     );
-    merge_shards(&[simulate_head_shard(workload, config, 0..workload.seq_len())])
+    merge_shards(&[simulate_head_shard_with_path(
+        workload,
+        config,
+        0..workload.seq_len(),
+        path,
+    )])
 }
 
 /// Simulates one contiguous shard of a head's Q rows on the incremental
@@ -271,6 +394,64 @@ pub fn simulate_head(workload: &HeadWorkload, config: &TileConfig) -> HeadSimRes
 /// Panics if the configuration is invalid or `rows` does not lie within
 /// the workload's sequence.
 pub fn simulate_head_shard(
+    workload: &HeadWorkload,
+    config: &TileConfig,
+    rows: Range<usize>,
+) -> TileShardSim {
+    simulate_head_shard_with_path(workload, config, rows, KernelPath::detect())
+}
+
+/// [`simulate_head_shard`] on an explicitly requested dispatch path — the
+/// shard-granular counterpart of [`simulate_head_with_path`].
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `rows` does not lie within
+/// the workload's sequence.
+pub fn simulate_head_shard_with_path(
+    workload: &HeadWorkload,
+    config: &TileConfig,
+    rows: Range<usize>,
+    path: KernelPath,
+) -> TileShardSim {
+    let kernel = QkKernelV2::with_path(*config, path); // validates the config once per shard
+    let packed = workload.packed_keys_at(kernel.plan());
+    let mut scratch = RowScratchV2::new();
+    let threshold = workload.threshold_int;
+    accumulate_rows(workload, config, rows, |q_row, out| {
+        kernel.compute_row_into(q_row, &packed, threshold, &mut scratch, out);
+    })
+}
+
+/// Simulates one attention head on the retained v1 per-pair kernel
+/// ([`QkKernel`]) — kept as a differential oracle between the scalar
+/// reference and the batched v2 path, and as the timing baseline
+/// `kernel_bench` measures the v2 speedup against.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the workload is degenerate
+/// (zero-length sequence).
+pub fn simulate_head_pairwise(workload: &HeadWorkload, config: &TileConfig) -> HeadSimResult {
+    assert!(
+        workload.seq_len() > 0,
+        "workload must contain at least one query"
+    );
+    merge_shards(&[simulate_head_shard_pairwise(
+        workload,
+        config,
+        0..workload.seq_len(),
+    )])
+}
+
+/// [`simulate_head_pairwise`] at shard granularity: the v1 per-pair kernel
+/// inner loop under the shared accounting.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `rows` does not lie within
+/// the workload's sequence.
+pub fn simulate_head_shard_pairwise(
     workload: &HeadWorkload,
     config: &TileConfig,
     rows: Range<usize>,
@@ -775,6 +956,7 @@ mod tests {
             threshold_int: 0,
             head_dim: 4,
             k_planes: vec![],
+            plane_cache: PlaneCache::default(),
         };
         let _ = simulate_head(&w, &TileConfig::ae_leopard());
     }
@@ -884,6 +1066,77 @@ mod tests {
             simulate_head_reference(&bare, &cfg)
         );
         assert_eq!(simulate_head(&bare, &cfg), simulate_head(&built, &cfg));
+    }
+
+    #[test]
+    fn non_native_width_decomposition_is_cached_across_calls() {
+        // The k_planes_at regression: a width mismatch used to silently
+        // re-decompose on *every* call. The second call must hit the cache
+        // and return the same Arc-shared decomposition.
+        let w = workload(8, 16, 0.2, 51);
+        assert_eq!(w.k_planes[0].magnitude_bits(), 11);
+        let first = match w.k_planes_at(13) {
+            PlanesAt::Cached(planes) => planes,
+            PlanesAt::Prebuilt(_) => panic!("width 13 is not the native width"),
+        };
+        let second = match w.k_planes_at(13) {
+            PlanesAt::Cached(planes) => planes,
+            PlanesAt::Prebuilt(_) => panic!("width 13 is not the native width"),
+        };
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second k_planes_at call must hit the per-width cache"
+        );
+        assert_eq!(first[0].magnitude_bits(), 13);
+        // The native width still borrows the prebuilt planes directly.
+        assert!(matches!(w.k_planes_at(11), PlanesAt::Prebuilt(_)));
+        // A cloned workload keeps the cache warm (Arc-shared entries).
+        let cloned = w.clone();
+        let third = match cloned.k_planes_at(13) {
+            PlanesAt::Cached(planes) => planes,
+            PlanesAt::Prebuilt(_) => panic!("width 13 is not the native width"),
+        };
+        assert!(Arc::ptr_eq(&first, &third));
+    }
+
+    #[test]
+    fn packed_keys_are_cached_per_plan() {
+        let w = workload(8, 16, 0.2, 52);
+        let plan = TileConfig::ae_leopard().bit_serial_plan();
+        let first = w.packed_keys_at(plan);
+        let second = w.packed_keys_at(plan);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second packed_keys_at call must hit the per-plan cache"
+        );
+        // A different granularity packs (and caches) separately.
+        let other = w.packed_keys_at(
+            TileConfig::ae_leopard()
+                .with_serial_bits(1)
+                .bit_serial_plan(),
+        );
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert!(Arc::ptr_eq(&other, &w.packed_keys_at(other.plan())));
+    }
+
+    #[test]
+    fn forced_paths_and_pairwise_kernel_agree_with_reference() {
+        // Head-level spot check of the dispatch contract (the full sweep
+        // lives in tests/kernel_dispatch.rs): wide, portable, the retained
+        // v1 per-pair kernel, and the scalar DPU all agree exactly.
+        let w = workload(23, 33, 0.3, 53);
+        for config in [TileConfig::ae_leopard(), TileConfig::pruning_only()] {
+            let reference = simulate_head_reference(&w, &config);
+            assert_eq!(
+                simulate_head_with_path(&w, &config, KernelPath::Wide),
+                reference
+            );
+            assert_eq!(
+                simulate_head_with_path(&w, &config, KernelPath::Portable),
+                reference
+            );
+            assert_eq!(simulate_head_pairwise(&w, &config), reference);
+        }
     }
 
     #[test]

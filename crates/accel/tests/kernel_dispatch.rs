@@ -1,0 +1,121 @@
+//! Dispatch-layer spine: differential tests pinning the runtime-dispatched
+//! kernel-v2 paths to each other and to the retained oracles.
+//!
+//! The contract under test (see `leopard_accel::kernel_v2`):
+//!
+//! * **Path identity** — forcing [`KernelPath::Portable`] (the scalar-word
+//!   fallback) produces a `HeadSimResult` byte-identical to the requested
+//!   [`KernelPath::Wide`] path on the same inputs, for every preset and
+//!   every `bits_per_cycle` granularity 1..=4. On machines without the
+//!   wide feature set the wide request resolves to portable, so the
+//!   property degenerates to reflexivity rather than failing.
+//! * **Oracle identity** — both paths equal the retained v1 per-pair
+//!   kernel (`simulate_head_pairwise`) and the scalar per-element DPU
+//!   reference (`simulate_head_reference`) exactly: cycles, stalls,
+//!   utilization, histograms, events.
+//! * **Tail-word hygiene** — sequence lengths straddling the 64-column
+//!   word boundary (`s = 23`, `63`, `64`, `65`) are pinned explicitly so
+//!   garbage bits beyond the tail mask can never leak into an alive-lane
+//!   popcount.
+//!
+//! The property tests use `ProptestConfig::default()`, so CI's
+//! `PROPTEST_CASES`-bumped differential job widens their coverage without
+//! code changes.
+
+use leopard_accel::config::TileConfig;
+use leopard_accel::kernel_v2::KernelPath;
+use leopard_accel::sim::{
+    simulate_head_pairwise, simulate_head_reference, simulate_head_with_path, HeadWorkload,
+};
+use proptest::prelude::*;
+
+/// The four studied tile configurations, in `SimUnitKind` order.
+fn presets() -> [TileConfig; 4] {
+    [
+        TileConfig::baseline(),
+        TileConfig::ae_leopard(),
+        TileConfig::hp_leopard(),
+        TileConfig::pruning_only(),
+    ]
+}
+
+/// Builds a deterministic workload of `s` K-columns × `d` dimensions from
+/// a seed, covering the full signed 12-bit code range including zeros.
+fn workload(s: usize, d: usize, threshold: i64, seed: i32) -> HeadWorkload {
+    let code = |r: usize, c: usize, salt: i32| -> i32 {
+        (r as i32 * 131 + c as i32 * 37 + salt)
+            .wrapping_mul(2_654_435_761u32 as i32)
+            .wrapping_add(seed)
+            % 2047
+    };
+    let q_codes: Vec<Vec<i32>> = (0..s)
+        .map(|r| (0..d).map(|c| code(r, c, 17)).collect())
+        .collect();
+    let k_codes: Vec<Vec<i32>> = (0..s)
+        .map(|r| (0..d).map(|c| code(r, c, 29)).collect())
+        .collect();
+    HeadWorkload::from_codes(q_codes, k_codes, threshold, d, 12)
+}
+
+/// Asserts the full dispatch contract on one workload/config pair: wide,
+/// portable, the retained per-pair kernel, and the scalar reference all
+/// produce byte-identical `HeadSimResult`s.
+fn assert_paths_agree(w: &HeadWorkload, config: &TileConfig) {
+    let reference = simulate_head_reference(w, config);
+    let wide = simulate_head_with_path(w, config, KernelPath::Wide);
+    let portable = simulate_head_with_path(w, config, KernelPath::Portable);
+    let pairwise = simulate_head_pairwise(w, config);
+    assert_eq!(wide, portable, "wide and portable paths diverged");
+    assert_eq!(
+        portable, reference,
+        "portable path diverged from DPU reference"
+    );
+    assert_eq!(
+        pairwise, reference,
+        "v1 per-pair kernel diverged from DPU reference"
+    );
+}
+
+#[test]
+fn boundary_column_counts_agree_across_paths() {
+    // s=23 and s=65 are the issue-pinned tail-word boundaries: a single
+    // partial word, and one full word plus a one-bit tail. 63/64 round
+    // out the straddle. Every preset runs at every length.
+    for s in [23, 63, 64, 65] {
+        let w = workload(s, 33, 40_000, s as i32);
+        for config in presets() {
+            assert_paths_agree(&w, &config);
+        }
+    }
+}
+
+#[test]
+fn granularity_sweep_agrees_across_paths() {
+    // bits_per_cycle 1..=4 over a mid-threshold workload: every reveal
+    // granularity must schedule identical outcomes on both paths.
+    let w = workload(50, 16, 30_000, 7);
+    for bits in 1..=4 {
+        let config = TileConfig::ae_leopard().with_serial_bits(bits);
+        assert_paths_agree(&w, &config);
+    }
+}
+
+proptest! {
+    /// The headline dispatch property: for arbitrary workloads, thresholds,
+    /// and reveal granularities, the forced-portable fallback is
+    /// byte-identical to the wide path — and both match the retained v1
+    /// kernel and the scalar DPU reference.
+    #[test]
+    fn prop_portable_and_wide_paths_are_byte_identical(
+        s in 1usize..70,
+        d in 1usize..20,
+        threshold in -200_000i64..200_000,
+        bits in 1u32..=4,
+        seed in 0i32..1000,
+    ) {
+        let w = workload(s, d, threshold, seed);
+        for preset in presets() {
+            assert_paths_agree(&w, &preset.with_serial_bits(bits));
+        }
+    }
+}

@@ -1,12 +1,15 @@
 //! Micro-benchmarks of the hot kernels: dense vs bit-serial dot products,
 //! the early-termination path at different pruning thresholds, and the
-//! row-batched incremental bit-plane kernel against the scalar reference
-//! DPU.
+//! row-batched kernels (v1 incremental bit-plane, v2 bit-parallel SoA on
+//! both dispatch paths) against the scalar reference DPU.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use leopard_accel::config::TileConfig;
 use leopard_accel::dpu::QkDpu;
 use leopard_accel::kernel::{QkKernel, RowScratch};
+use leopard_accel::kernel_v2::{KernelPath, PackedKeys, QkKernelV2, RowScratchV2};
 use leopard_quant::bitserial::BitSerialVector;
 use leopard_quant::fixed::QuantParams;
 use leopard_quant::planes::KPlanes;
@@ -84,7 +87,7 @@ fn row_batched_kernel(c: &mut Criterion) {
                     .sum::<u64>()
             })
         });
-        group.bench_function(&format!("bitplane_kernel/{label}"), |b| {
+        group.bench_function(&format!("bitplane_kernel_v1/{label}"), |b| {
             let mut scratch = RowScratch::new();
             let mut out = Vec::new();
             b.iter(|| {
@@ -92,6 +95,21 @@ fn row_batched_kernel(c: &mut Criterion) {
                 out.iter().map(|o| o.cycles as u64).sum::<u64>()
             })
         });
+        let packed = PackedKeys::pack(Arc::new(k_planes.clone()), plan);
+        for (path_label, path) in [
+            ("wide", KernelPath::Wide),
+            ("portable", KernelPath::Portable),
+        ] {
+            group.bench_function(&format!("soa_kernel_v2_{path_label}/{label}"), |b| {
+                let v2 = QkKernelV2::with_path(ae, path);
+                let mut scratch = RowScratchV2::new();
+                let mut out = Vec::new();
+                b.iter(|| {
+                    v2.compute_row_into(qq.row(0), &packed, threshold, &mut scratch, &mut out);
+                    out.iter().map(|o| o.cycles as u64).sum::<u64>()
+                })
+            });
+        }
     }
     group.finish();
 }

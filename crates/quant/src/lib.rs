@@ -38,5 +38,5 @@ pub mod signmag;
 
 pub use bitserial::{BitSerialPlan, BitSerialVector};
 pub use fixed::{QuantParams, QuantizedMatrix};
-pub use planes::KPlanes;
+pub use planes::{KPlanes, KPlanesSoa};
 pub use signmag::SignMagnitude;

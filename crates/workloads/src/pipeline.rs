@@ -770,6 +770,38 @@ mod tests {
     }
 
     #[test]
+    fn packed_keys_are_shared_across_simulation_units() {
+        // The kernel-v2 pack is keyed by (magnitude width, bits per cycle),
+        // and the three bit-serial presets share the (11, 2) plan — so one
+        // head workload packs its keys once and every unit reuses the same
+        // Arc. The baseline preset collapses to a one-cycle plan and packs
+        // separately, but still hits its own cache on re-simulation.
+        let suite = full_suite();
+        let workload = build_head_workload(&suite[0], &quick_options(), 0);
+        let shared: Vec<_> = [
+            SimUnitKind::AeLeopard,
+            SimUnitKind::HpLeopard,
+            SimUnitKind::PruningOnly,
+        ]
+        .iter()
+        .map(|kind| workload.packed_keys_at(kind.tile_config().bit_serial_plan()))
+        .collect();
+        for packed in &shared[1..] {
+            assert!(
+                std::sync::Arc::ptr_eq(&shared[0], packed),
+                "bit-serial presets share one (width, granularity) pack"
+            );
+        }
+        let baseline_plan = SimUnitKind::Baseline.tile_config().bit_serial_plan();
+        let baseline = workload.packed_keys_at(baseline_plan);
+        assert!(!std::sync::Arc::ptr_eq(&shared[0], &baseline));
+        assert!(std::sync::Arc::ptr_eq(
+            &baseline,
+            &workload.packed_keys_at(baseline_plan)
+        ));
+    }
+
+    #[test]
     fn head_seeds_are_distinct_per_head() {
         let suite = full_suite();
         let a = head_seed(&suite[0], 0);

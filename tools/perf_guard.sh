@@ -21,6 +21,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Float parsing and the awk threshold comparison must be locale-independent:
+# under a decimal-comma locale awk would read "7.296" as 7 and the 85% floor
+# check could silently pass (or fail) on the truncated value.
+export LC_ALL=C
+
 # A guard without a baseline is a no-op that looks green — refuse to run.
 for baseline in BENCH_qk_kernel.json BENCH_tiles.json BENCH_layer_sched.json BENCH_fault_recovery.json; do
   if [ ! -f "$baseline" ]; then
@@ -71,10 +76,20 @@ check() {
   }'
 }
 
-check "kernel_bench" "$base_kernel" "$new_kernel"
-check "tile_scaling (8 tiles)" "$base_tiles" "$new_tiles"
-check "layer_placement (lpt vs rr)" "$base_layer" "$new_layer"
-check "fault_recovery (resilient vs shed-only goodput)" "$base_fault" "$new_fault"
+# Run every check (|| failed=1 keeps set -e from aborting on the first
+# regression, so all four verdicts are reported), then refuse to record a
+# trajectory point if any failed — a regression must never be appended as
+# if it were a healthy sample.
+failed=0
+check "kernel_bench" "$base_kernel" "$new_kernel" || failed=1
+check "tile_scaling (8 tiles)" "$base_tiles" "$new_tiles" || failed=1
+check "layer_placement (lpt vs rr)" "$base_layer" "$new_layer" || failed=1
+check "fault_recovery (resilient vs shed-only goodput)" "$base_fault" "$new_fault" || failed=1
+
+if [ "$failed" -ne 0 ]; then
+  echo "perf_guard: guard FAILED — refusing to append to BENCH_trajectory.jsonl" >&2
+  exit 1
+fi
 
 recorded=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 {
